@@ -1,0 +1,60 @@
+"""Ablation: streaming partitioned execution vs whole-dataset
+materialization.
+
+Design claim (DESIGN.md §5.2): the engine's working set is
+O(partition + result) because narrow chains stream one partition end
+to end.  Forcing everything into a single partition (materializing the
+dataset inside the pipeline) inflates the peak accordingly.
+"""
+
+from __future__ import annotations
+
+from repro.core.preprocessing.grid import STManager
+from repro.engine import Session
+from repro.experiments.fig8 import (
+    GRID_X,
+    GRID_Y,
+    NUM_STEPS,
+    NYC_ENVELOPE,
+    STEP_SECONDS,
+    make_records,
+)
+from repro.utils.memory import MemoryMeter
+
+
+def _prep_peak(records: dict, num_partitions: int) -> int:
+    meter = MemoryMeter()
+    session = Session(default_parallelism=num_partitions, meter=meter)
+    df = session.create_dataframe(records)
+    spatial = STManager.add_spatial_points(df, "lat", "lon", "point")
+    st_df = STManager.get_st_grid_dataframe(
+        spatial,
+        geometry="point",
+        partitions_x=GRID_X,
+        partitions_y=GRID_Y,
+        col_date="pickup_time",
+        step_duration_sec=STEP_SECONDS,
+        envelope=NYC_ENVELOPE,
+        temporal_origin=0.0,
+    )
+    STManager.get_st_grid_array(st_df, GRID_X, GRID_Y, num_steps=NUM_STEPS)
+    return meter.peak
+
+
+def test_ablation_streaming_vs_materialized(benchmark, report):
+    records = make_records(400_000)
+
+    def run():
+        streamed = _prep_peak(records, num_partitions=16)
+        materialized = _prep_peak(records, num_partitions=1)
+        return streamed, materialized
+
+    streamed, materialized = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "Ablation: streaming vs materialized execution\n"
+        "=============================================\n"
+        f"streamed (16 partitions): peak {streamed / 1e6:8.2f} MB\n"
+        f"materialized (1 partition): peak {materialized / 1e6:6.2f} MB\n"
+        f"ratio: {materialized / streamed:.1f}x"
+    )
+    assert materialized > 3.0 * streamed

@@ -1,0 +1,66 @@
+"""Ablation: ML-aware spatial re-partitioning (paper ref [40]).
+
+The preprocessing module supports reducing a grid dataset's volume by
+coarsening its spatial resolution, "with an end goal of reducing the
+training time".  This bench trains the same model on the full-
+resolution tensor and on a 2x2-coarsened tensor and reports the
+time/error trade-off: training gets several times faster while the
+(raw-unit, per-cell-area-normalized) error stays in the same regime.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.datasets.base import GridDataset
+from repro.core.datasets.synth import generate_traffic_tensor
+from repro.core.models.grid import PeriodicalCNN
+from repro.core.preprocessing.grid import SpacePartition
+from repro.core.training import Trainer, periodical_batch, rmse
+from repro.data import DataLoader, sequential_split
+from repro.nn import MSELoss
+from repro.optim import Adam
+
+
+def _train(tensor, epochs=8, seed=0):
+    dataset = GridDataset(tensor, steps_per_period=24, steps_per_trend=168)
+    dataset.set_periodical_representation(3, 2, 1)
+    train, _, test = sequential_split(dataset, [0.8, 0.1, 0.1])
+    train_loader = DataLoader(train, batch_size=16, shuffle=True, rng=seed)
+    test_loader = DataLoader(test, batch_size=16)
+    model = PeriodicalCNN(3, 2, 1, tensor.shape[-1], rng=seed)
+    trainer = Trainer(
+        model, Adam(model.parameters(), lr=2e-3), MSELoss(), periodical_batch
+    )
+    started = time.perf_counter()
+    for _ in range(epochs):
+        trainer.train_epoch(train_loader)
+    seconds = time.perf_counter() - started
+    error = trainer.evaluate(test_loader, {"rmse": rmse})["rmse"]
+    # Normalize: coarsened cells aggregate 4 cells, so raw errors scale
+    # with cell area; compare errors relative to each tensor's scale.
+    return seconds, error * dataset.scale / tensor.mean()
+
+
+def test_ablation_repartitioning(benchmark, report):
+    def run():
+        full = generate_traffic_tensor(800, 16, 16, 1, seed=31)
+        coarse = SpacePartition.coarsen_st_tensor(full, 2, 2)
+        full_s, full_err = _train(full)
+        coarse_s, coarse_err = _train(coarse)
+        return full_s, full_err, coarse_s, coarse_err
+
+    full_s, full_err, coarse_s, coarse_err = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    report(
+        "Ablation: spatial re-partitioning (coarsen 2x2)\n"
+        "===============================================\n"
+        f"full 16x16:    {full_s:7.2f}s  relative RMSE {full_err:.4f}\n"
+        f"coarse 8x8:    {coarse_s:7.2f}s  relative RMSE {coarse_err:.4f}\n"
+        f"speedup: {full_s / coarse_s:.1f}x"
+    )
+    # Volume reduction cuts training time substantially...
+    assert coarse_s < 0.6 * full_s
+    # ...without blowing up the relative error (same regime: < 2x).
+    assert coarse_err < 2.0 * full_err

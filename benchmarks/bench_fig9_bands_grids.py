@@ -1,0 +1,56 @@
+"""Figure 9: epoch time vs #bands and grid shape, on the accelerated
+("GPU" stand-in) and naive ("CPU" stand-in) backends.
+
+Paper shape: grid size strongly affects epoch time; the number of
+bands barely does; the accelerated backend is much faster everywhere.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.experiments.fig9 import (
+    format_figure9,
+    run_band_sweep,
+    run_grid_sweep,
+)
+
+
+def _num_images() -> int:
+    return int(os.environ.get("REPRO_FIG9_IMAGES", "48"))
+
+
+def test_fig9_bands_and_grids(benchmark, report):
+    def run():
+        return run_band_sweep(num_images=_num_images()) + run_grid_sweep(
+            num_images=_num_images()
+        )
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(format_figure9(rows))
+
+    def sec(axis, key, backend):
+        return next(
+            r["seconds"]
+            for r in rows
+            if r["axis"] == axis and r[axis if axis == "grid" else "bands"] == key
+            and r["backend"] == backend
+        )
+
+    # Accelerated beats naive at every measured point.
+    for row in rows:
+        if row["backend"] == "accelerated":
+            twin = next(
+                r["seconds"] for r in rows
+                if r["backend"] == "naive"
+                and r["axis"] == row["axis"]
+                and r["bands"] == row["bands"]
+                and r["grid"] == row["grid"]
+            )
+            assert row["seconds"] < twin
+
+    # Grid size matters a lot: 64 vs 28 on the naive backend is > 2.5x.
+    assert sec("grid", 64, "naive") > 2.5 * sec("grid", 28, "naive")
+    # Band count matters little: 13 vs 3 bands stays within ~2x even
+    # on the naive backend (paper: "no discernible effect").
+    assert sec("bands", 13, "naive") < 2.0 * sec("bands", 3, "naive")

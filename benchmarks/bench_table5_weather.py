@@ -1,0 +1,50 @@
+"""Table V: weather forecasting MAE/RMSE of the four grid models on
+temperature, total precipitation, and total cloud cover.
+
+Paper shape: DeepSTN+ best; ConvLSTM close behind and clearly better
+positioned than on traffic (weather is persistence-dominated, so
+closeness/period/trend matter less); Periodical CNN worst.
+"""
+
+from __future__ import annotations
+
+from repro.core.datasets.grid import (
+    Temperature,
+    TotalCloudCover,
+    TotalPrecipitation,
+)
+from repro.experiments.grid_forecasting import format_table, run_matrix
+
+
+def test_table5_weather_forecasting(benchmark, report, data_root, config):
+    factories = {
+        "Temperature": lambda: Temperature(
+            data_root, num_steps=config.grid_steps,
+            grid_shape=config.weather_grid,
+        ),
+        "TotalPrecipitation": lambda: TotalPrecipitation(
+            data_root, num_steps=config.grid_steps,
+            grid_shape=config.weather_grid,
+        ),
+        "TotalCloudCover": lambda: TotalCloudCover(
+            data_root, num_steps=config.grid_steps,
+            grid_shape=config.weather_grid,
+        ),
+    }
+    rows = benchmark.pedantic(
+        lambda: run_matrix(factories, config), rounds=1, iterations=1
+    )
+    report(format_table(rows, "Table V: Weather Forecasting (MAE / RMSE)"))
+
+    def cell(dataset, model):
+        return next(
+            r for r in rows if r["dataset"] == dataset and r["model"] == model
+        )
+
+    # Paper shape on Temperature: DeepSTN+ and ConvLSTM lead (the
+    # paper separates them by only ~7%); the Periodical CNN baseline
+    # is worst.  A 5% tolerance on the leader absorbs 2-seed noise.
+    temp = {m: cell("Temperature", m)["rmse_mean"] for m in
+            ("Periodical CNN", "ConvLSTM", "ST-ResNet", "DeepSTN+")}
+    assert temp["DeepSTN+"] <= 1.05 * min(temp.values())
+    assert temp["Periodical CNN"] == max(temp.values())

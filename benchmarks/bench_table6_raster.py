@@ -1,0 +1,56 @@
+"""Table VI: raster classification and segmentation accuracy.
+
+Paper shape: DeepSAT-V2 and SatCNN are comparable on both
+classification datasets (feature fusion compensates for the shallower
+CNN); for segmentation UNet++ >= UNet > FCN.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.raster_tasks import (
+    aggregate_accuracy,
+    format_accuracy_table,
+    run_classification,
+    run_segmentation,
+)
+
+
+def test_table6_raster_accuracy(benchmark, report, data_root, config):
+    def run():
+        rows = []
+        for model in ("DeepSAT V2", "SatCNN"):
+            for dataset in ("EuroSAT", "SAT6"):
+                cells = [
+                    run_classification(
+                        dataset, model, data_root, config, seed=s
+                    )
+                    for s in range(config.seeds)
+                ]
+                rows.append(aggregate_accuracy(cells))
+        for model in ("UNet", "FCN", "UNet++"):
+            cells = [
+                run_segmentation(model, data_root, config, seed=s)
+                for s in range(config.seeds)
+            ]
+            rows.append(aggregate_accuracy(cells))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(format_accuracy_table(rows))
+
+    def acc(model, dataset):
+        return next(
+            r for r in rows
+            if r["model"] == model and r["dataset"] == dataset
+        )["accuracy_mean"]
+
+    # Classifiers are comparable (within a few points) on both sets.
+    assert abs(acc("DeepSAT V2", "EuroSAT") - acc("SatCNN", "EuroSAT")) < 0.08
+    assert abs(acc("DeepSAT V2", "SAT6") - acc("SatCNN", "SAT6")) < 0.08
+    # All accuracies are high (the paper reports 94-99%).
+    for row in rows:
+        if row["dataset"] != "38-Cloud":
+            assert row["accuracy_mean"] > 0.85
+    # Segmentation ordering: UNet++ >= UNet > FCN.
+    assert acc("UNet++", "38-Cloud") >= acc("UNet", "38-Cloud") - 0.01
+    assert acc("UNet", "38-Cloud") > acc("FCN", "38-Cloud")

@@ -1,0 +1,47 @@
+"""Table VIII: offline pre-transformation vs on-the-fly transforms.
+
+Paper shape: training time with online transforms grows with the
+transform count; training on pre-transformed data is flat in the
+count; pretransform cost is modest (write-dominated); and
+pretransform + train < train-with-online-transforms at every count.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.experiments.pretransform import (
+    format_table8,
+    run_pretransform_experiment,
+)
+
+TRANSFORM_COUNTS = (1, 2, 3, 4, 5)
+
+
+def test_table8_pretransform(benchmark, report, tmp_path):
+    epochs = int(os.environ.get("REPRO_T8_EPOCHS", "3"))
+
+    def run():
+        return [
+            run_pretransform_experiment(
+                count, str(tmp_path), epochs=epochs
+            )
+            for count in TRANSFORM_COUNTS
+        ]
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(format_table8(rows))
+
+    # Training on pre-transformed data beats on-the-fly decode +
+    # transform at (nearly) every count — the paper's headline claim.
+    # (The per-count growth of the online column exists but is within
+    # timing noise at this scale; see EXPERIMENTS.md.)
+    wins = sum(
+        1
+        for row in rows
+        if row["train_with_pretransforms_s"] < row["train_with_transforms_s"]
+    )
+    assert wins >= len(rows) - 1, f"offline won only {wins}/{len(rows)}"
+    # The one-off pretransform pass is cheap relative to training.
+    for row in rows:
+        assert row["pretransform_s"] < row["train_with_transforms_s"]

@@ -1,0 +1,43 @@
+"""Shared fixtures for the benchmark harness.
+
+Every bench prints its paper-style table to stdout (run with ``-s`` to
+see it live) and appends it to ``benchmarks/results/latest.txt``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def config() -> ExperimentConfig:
+    return ExperimentConfig()
+
+
+@pytest.fixture(scope="session")
+def data_root(tmp_path_factory) -> str:
+    """One dataset cache shared by all benches in a session."""
+    return str(tmp_path_factory.mktemp("bench_data"))
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Collect formatted tables and flush them to disk at session end."""
+    tables: list[str] = []
+
+    def add(table: str) -> None:
+        print("\n" + table)
+        tables.append(table)
+
+    yield add
+    if tables:
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        path = os.path.join(RESULTS_DIR, "latest.txt")
+        with open(path, "w") as handle:
+            handle.write("\n\n".join(tables) + "\n")

@@ -1,0 +1,64 @@
+"""Raster classification with DeepSAT-V2 and handcrafted features.
+
+Mirrors the paper's Listings 1, 6, and 7: a EuroSAT-style dataset with
+automatically-extracted GLCM/spectral features, an on-the-fly
+normalized-difference-index transform, and the feature-fusion model.
+
+Run:  python examples/raster_classification.py
+"""
+
+from repro.core.datasets.raster import EuroSAT
+from repro.core.models.raster import DeepSatV2
+from repro.core.training import (
+    Trainer,
+    accuracy,
+    classification_with_features_batch,
+)
+from repro.core.transforms import AppendNormalizedDifferenceIndex
+from repro.data import DataLoader, random_split
+from repro.nn import CrossEntropyLoss
+from repro.optim import Adam
+
+
+def main():
+    # Listing 1 + 7: a raster dataset with extra feature vectors and a
+    # transform appending NDVI-style indices as an extra band.
+    append_ndi = AppendNormalizedDifferenceIndex(band_index1=7, band_index2=3)
+    dataset = EuroSAT(
+        "data",
+        num_images=300,
+        include_additional_features=True,
+        transform=append_ndi,
+    )
+    image, label, features = dataset[0]
+    print(f"sample: image {image.shape}, label {label}, "
+          f"features {features.shape}")
+
+    train, test = random_split(dataset, [0.8, 0.2], rng=0)
+    train_loader = DataLoader(train, batch_size=16, shuffle=True, rng=0)
+    test_loader = DataLoader(test, batch_size=16)
+
+    # Listing 6: DeepSAT-V2 fed images + handcrafted features.  The
+    # transform appended one band, so in_channels is num_bands + 1.
+    model = DeepSatV2(
+        in_channels=dataset.num_bands + 1,
+        in_height=dataset.image_height,
+        in_width=dataset.image_width,
+        num_classes=dataset.num_classes,
+        num_filtered_features=dataset.num_features,
+        rng=0,
+    )
+    trainer = Trainer(
+        model,
+        Adam(model.parameters(), lr=1e-3),
+        CrossEntropyLoss(),
+        classification_with_features_batch,
+    )
+    print("training DeepSAT-V2 ...")
+    trainer.fit(train_loader, epochs=8, verbose=True)
+    metrics = trainer.evaluate(test_loader, {"accuracy": accuracy})
+    print(f"\ntest accuracy: {metrics['accuracy'] * 100:.2f}%")
+
+
+if __name__ == "__main__":
+    main()

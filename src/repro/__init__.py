@@ -1,0 +1,21 @@
+"""repro — a full reproduction of GeoTorchAI (ICDE 2024).
+
+Layers, bottom-up:
+
+- :mod:`repro.tensor`, :mod:`repro.nn`, :mod:`repro.optim`,
+  :mod:`repro.data` — a from-scratch deep-learning substrate
+  (substitutes PyTorch).
+- :mod:`repro.geometry`, :mod:`repro.engine`, :mod:`repro.spatial` —
+  a partitioned, lazy DataFrame engine with spatial joins and raster
+  I/O (substitutes Apache Spark + Sedona).
+- :mod:`repro.baselines` — an eager single-node geo-frame
+  (substitutes GeoPandas, the paper's Figure 8 baseline).
+- :mod:`repro.core` — the paper's contribution: GeoTorchAI datasets,
+  models, transforms, scalable preprocessing, and the DFtoTorch
+  converter.
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,5 @@
+"""Baselines the paper compares against."""
+
+from repro.baselines.geopandas_like import EagerGeoFrame
+
+__all__ = ["EagerGeoFrame"]

@@ -1,0 +1,17 @@
+"""GeoTorchAI core: the paper's contribution.
+
+Sub-packages mirror the paper's module structure:
+
+- :mod:`repro.core.datasets` — ready-to-use benchmark datasets (grid
+  spatiotemporal + raster imagery) with the basic / sequential /
+  periodical representations;
+- :mod:`repro.core.models` — grid models (Periodical CNN, ConvLSTM,
+  ST-ResNet, DeepSTN+) and raster models (SatCNN, DeepSAT-V2, FCN,
+  UNet, UNet++);
+- :mod:`repro.core.transforms` — composable raster/grid transforms;
+- :mod:`repro.core.preprocessing` — scalable preprocessing on the
+  engine (``STManager``, ``SpacePartition``, ``RasterProcessing``,
+  GLCM + spectral features);
+- :mod:`repro.core.converter` — the DFtoTorch Converter;
+- :mod:`repro.core.training` — Trainer, early stopping, metrics.
+"""

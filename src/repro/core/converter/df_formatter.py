@@ -1,0 +1,108 @@
+"""DF Formatter: the distributed row -> array-layout mapping stage."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.converter.specs import (
+    ClassificationSpec,
+    SegmentationSpec,
+    SpatiotemporalSpec,
+)
+from repro.engine.dataframe import DataFrame
+from repro.engine.partition import Partition
+from repro.spatial.raster import RasterTile
+
+
+class DFFormatter:
+    """Maps each row of a preprocessed DataFrame into the array shape
+    of the eventual tensor — executed per-partition on the engine, so
+    no centralized aggregation happens (Section III-C)."""
+
+    def __init__(self, spec):
+        self.spec = spec
+
+    def format(self, df: DataFrame) -> DataFrame:
+        """Return a DataFrame with ``__x`` (and ``__y``, ``__f``)
+        object columns holding per-row arrays."""
+        spec = self.spec
+        if isinstance(spec, ClassificationSpec):
+            return self._format_classification(df, spec)
+        if isinstance(spec, SegmentationSpec):
+            return self._format_segmentation(df, spec)
+        if isinstance(spec, SpatiotemporalSpec):
+            return self._format_spatiotemporal(df, spec)
+        raise TypeError(f"unknown spec {type(spec).__name__}")
+
+    @staticmethod
+    def _tile_array(value) -> np.ndarray:
+        if isinstance(value, RasterTile):
+            return value.data
+        return np.asarray(value, dtype=np.float32)
+
+    def _format_classification(self, df, spec) -> DataFrame:
+        def fn(part: Partition) -> Partition:
+            tiles = part.columns[spec.tile_column]
+            xs = np.empty(len(tiles), dtype=object)
+            for i in range(len(tiles)):
+                xs[i] = self._tile_array(tiles[i])
+            columns = {
+                "__x": xs,
+                "__y": np.asarray(
+                    part.columns[spec.label_column], dtype=np.int64
+                ),
+            }
+            if spec.feature_column is not None:
+                feats = part.columns[spec.feature_column]
+                fs = np.empty(len(feats), dtype=object)
+                for i in range(len(feats)):
+                    fs[i] = np.asarray(feats[i], dtype=np.float32)
+                columns["__f"] = fs
+            return Partition(columns)
+
+        return df.map_partitions(fn, label="df_formatter[classification]")
+
+    def _format_segmentation(self, df, spec) -> DataFrame:
+        def fn(part: Partition) -> Partition:
+            tiles = part.columns[spec.tile_column]
+            masks = part.columns[spec.mask_column]
+            xs = np.empty(len(tiles), dtype=object)
+            ys = np.empty(len(tiles), dtype=object)
+            for i in range(len(tiles)):
+                xs[i] = self._tile_array(tiles[i])
+                ys[i] = np.asarray(masks[i], dtype=np.int64)
+            return Partition({"__x": xs, "__y": ys})
+
+        return df.map_partitions(fn, label="df_formatter[segmentation]")
+
+    def _format_spatiotemporal(self, df, spec) -> DataFrame:
+        """Scatter sparse aggregate rows into dense per-timestep
+        frames.  Rows are first globally ordered by time so frames
+        stream out in temporal order; per-frame assembly happens
+        partition-locally."""
+        h, w = spec.partitions_y, spec.partitions_x
+        channels = len(spec.value_columns)
+
+        def fn(part: Partition) -> Partition:
+            if part.num_rows == 0:
+                return Partition(
+                    {"__t": np.empty(0, dtype=np.int64), "__x": np.empty(0, dtype=object)}
+                )
+            steps = np.asarray(part.columns[spec.time_column], dtype=np.int64)
+            cells = np.asarray(part.columns[spec.cell_column], dtype=np.int64)
+            uniques = np.unique(steps)
+            frames = np.empty(len(uniques), dtype=object)
+            for idx, t in enumerate(uniques):
+                frame = np.zeros((channels, h, w), dtype=np.float32)
+                sel = steps == t
+                ys, xs = cells[sel] // w, cells[sel] % w
+                for c, name in enumerate(spec.value_columns):
+                    frame[c, ys, xs] = np.asarray(
+                        part.columns[name], dtype=np.float32
+                    )[sel]
+                frames[idx] = frame
+            return Partition({"__t": uniques, "__x": frames})
+
+        # The global order_by makes every timestep land in one place.
+        ordered = df.order_by(spec.time_column)
+        return ordered.map_partitions(fn, label="df_formatter[spatiotemporal]")

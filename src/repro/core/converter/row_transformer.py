@@ -1,0 +1,120 @@
+"""Row Transformer: formatted partitions -> batched tensors."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.converter.specs import SpatiotemporalSpec
+from repro.engine.dataframe import DataFrame
+from repro.tensor import Tensor
+
+
+class RowTransformer:
+    """Streams a formatted DataFrame as fixed-size training batches.
+
+    Iterating yields tuples of :class:`Tensor`; per-sample
+    ``transform`` runs on the x array before batching (the
+    "transformation spec" role Petastorm plays in the paper).  At no
+    point is more than one partition plus one pending batch (plus the
+    optional shuffle buffer) resident.
+
+    ``shuffle_buffer`` enables Petastorm-style approximate shuffling:
+    samples pass through a fixed-size reservoir and leave it in random
+    order, decorrelating batches from partition order without a
+    global shuffle.
+    """
+
+    def __init__(
+        self,
+        formatted_df: DataFrame,
+        batch_size: int = 32,
+        transform=None,
+        spec=None,
+        shuffle_buffer: int = 0,
+        rng=None,
+    ):
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        if shuffle_buffer < 0:
+            raise ValueError("shuffle_buffer must be >= 0")
+        self.df = formatted_df
+        self.batch_size = batch_size
+        self.transform = transform
+        self.spec = spec
+        self.shuffle_buffer = shuffle_buffer
+        from repro.utils.rng import default_rng
+
+        self._rng = default_rng(rng, label="row_transformer")
+
+    def __iter__(self):
+        if isinstance(self.spec, SpatiotemporalSpec):
+            yield from self._iter_spatiotemporal()
+        else:
+            yield from self._iter_samples()
+
+    def _raw_samples(self):
+        for part in self.df.iter_partitions():
+            xs = part.columns["__x"]
+            ys = part.columns["__y"]
+            fs = part.columns.get("__f")
+            for i in range(part.num_rows):
+                x = xs[i]
+                if self.transform is not None:
+                    x = self.transform(x)
+                yield (x, ys[i]) if fs is None else (x, ys[i], fs[i])
+
+    def _shuffled_samples(self):
+        buffer: list[tuple] = []
+        for sample in self._raw_samples():
+            buffer.append(sample)
+            if len(buffer) > self.shuffle_buffer:
+                index = int(self._rng.integers(len(buffer)))
+                buffer[index], buffer[-1] = buffer[-1], buffer[index]
+                yield buffer.pop()
+        self._rng.shuffle(buffer)
+        yield from buffer
+
+    def _iter_samples(self):
+        source = (
+            self._shuffled_samples()
+            if self.shuffle_buffer
+            else self._raw_samples()
+        )
+        pending: list[tuple] = []
+        for sample in source:
+            pending.append(sample)
+            if len(pending) == self.batch_size:
+                yield self._collate(pending)
+                pending = []
+        if pending:
+            yield self._collate(pending)
+
+    def _iter_spatiotemporal(self):
+        """Pair consecutive frames as (x_t, y_{t+lead}) across
+        partition boundaries using a small carry buffer."""
+        lead = self.spec.lead_time
+        buffer: list[np.ndarray] = []
+        pending: list[tuple] = []
+        for part in self.df.iter_partitions():
+            buffer.extend(part.columns["__x"])
+            # Emit (frame_i, frame_{i+lead}) pairs; each x leaves the
+            # buffer once emitted, so nothing repeats across partitions.
+            while len(buffer) > lead:
+                x = buffer.pop(0)
+                y = buffer[lead - 1]
+                if self.transform is not None:
+                    x = self.transform(x)
+                pending.append((x, y))
+                if len(pending) == self.batch_size:
+                    yield self._collate(pending)
+                    pending = []
+        if pending:
+            yield self._collate(pending)
+
+    @staticmethod
+    def _collate(samples: list[tuple]) -> tuple:
+        width = len(samples[0])
+        return tuple(
+            Tensor(np.stack([np.asarray(s[j]) for s in samples]))
+            for j in range(width)
+        )

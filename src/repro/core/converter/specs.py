@@ -1,0 +1,39 @@
+"""Conversion specs: how rows of a preprocessed DataFrame map to
+(sample, label) arrays for each application domain."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ClassificationSpec:
+    """Raster classification rows: a tile column and an integer label
+    column, optionally plus a handcrafted-feature column (DeepSAT-V2
+    style)."""
+
+    tile_column: str = "tile"
+    label_column: str = "label"
+    feature_column: str | None = None
+
+
+@dataclass(frozen=True)
+class SegmentationSpec:
+    """Raster segmentation rows: a tile column and a mask column."""
+
+    tile_column: str = "tile"
+    mask_column: str = "mask"
+
+
+@dataclass(frozen=True)
+class SpatiotemporalSpec:
+    """Aggregated spatiotemporal rows (``STManager`` output): sparse
+    (time_step, cell_id, value...) records to be scattered into dense
+    (C, H, W) frames, then paired as (frame_t, frame_{t+lead})."""
+
+    partitions_x: int
+    partitions_y: int
+    value_columns: tuple = ("count",)
+    lead_time: int = 1
+    time_column: str = "time_step"
+    cell_column: str = "cell_id"

@@ -1,0 +1,6 @@
+"""GeoTorchAI benchmark datasets (grid spatiotemporal + raster)."""
+
+from repro.core.datasets import grid, raster
+from repro.core.datasets.registry import DATASET_REGISTRY, DatasetInfo
+
+__all__ = ["grid", "raster", "DATASET_REGISTRY", "DatasetInfo"]

@@ -1,0 +1,31 @@
+"""Grid-based spatiotemporal benchmark datasets."""
+
+from repro.core.datasets.grid.traffic import (
+    BikeNYCDeepSTN,
+    TaxiNYCSTDN,
+    BikeNYCSTDN,
+    TaxiBJ21,
+    YellowTripNYC,
+)
+from repro.core.datasets.grid.custom import CustomGridDataset
+from repro.core.datasets.grid.weather import (
+    Temperature,
+    TotalPrecipitation,
+    TotalCloudCover,
+    Geopotential,
+    SolarRadiation,
+)
+
+__all__ = [
+    "CustomGridDataset",
+    "BikeNYCDeepSTN",
+    "TaxiNYCSTDN",
+    "BikeNYCSTDN",
+    "TaxiBJ21",
+    "YellowTripNYC",
+    "Temperature",
+    "TotalPrecipitation",
+    "TotalCloudCover",
+    "Geopotential",
+    "SolarRadiation",
+]

@@ -1,0 +1,48 @@
+"""Custom grid datasets (paper Section III-A1).
+
+"GeoTorchAI datasets module provides classes that allow defining any
+custom datasets instead of relying only on ready-to-use benchmark
+datasets" — these load tensors produced offline (e.g. by the
+preprocessing module's ``write_st_grid_array``) or passed in memory.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.datasets.base import GridDataset
+from repro.core.preprocessing.grid.st_manager import STManager
+
+
+class CustomGridDataset(GridDataset):
+    """A grid dataset over a user-provided (T, H, W, C) tensor."""
+
+    def __init__(self, tensor, **kwargs):
+        super().__init__(np.asarray(tensor, dtype=np.float32), **kwargs)
+
+    @classmethod
+    def from_file(cls, path: str, **kwargs) -> "CustomGridDataset":
+        """Load a tensor written by
+        :meth:`STManager.write_st_grid_array`."""
+        return cls(STManager.read_st_grid_array(path), **kwargs)
+
+    @classmethod
+    def from_st_dataframe(
+        cls,
+        st_df,
+        partitions_x: int,
+        partitions_y: int,
+        num_steps: int | None = None,
+        value_columns=None,
+        **kwargs,
+    ) -> "CustomGridDataset":
+        """Materialize an ``STManager``-aggregated DataFrame straight
+        into a trainable dataset."""
+        tensor = STManager.get_st_grid_array(
+            st_df,
+            partitions_x,
+            partitions_y,
+            num_steps=num_steps,
+            value_columns=value_columns,
+        )
+        return cls(tensor, **kwargs)

@@ -1,0 +1,12 @@
+"""Raster imagery benchmark datasets."""
+
+from repro.core.datasets.raster.classification import (
+    EuroSAT,
+    SAT4,
+    SAT6,
+    SlumDetection,
+)
+from repro.core.datasets.raster.segmentation import Cloud38
+from repro.core.datasets.raster.custom import CustomRasterDataset
+
+__all__ = ["EuroSAT", "SAT4", "SAT6", "SlumDetection", "Cloud38", "CustomRasterDataset"]

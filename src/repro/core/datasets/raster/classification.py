@@ -1,0 +1,94 @@
+"""Raster classification datasets (paper Table III).
+
+Band counts, class counts, and image shapes match the paper;
+``num_images`` is a scaled-down default.  The DeepSAT-V2 path uses
+``include_additional_features=True`` to get handcrafted texture +
+spectral features alongside each image (Listing 1).
+"""
+
+from __future__ import annotations
+
+from repro.core.datasets.raster.file_backed import FileBackedRasterDataset
+from repro.core.datasets.synth import generate_classification_rasters
+
+
+class _ClassificationDataset(FileBackedRasterDataset):
+    IMAGE_SHAPE = (28, 28)
+    NUM_CLASSES = 4
+    NUM_BANDS = 4
+    SEED = 0
+
+    def __init__(
+        self,
+        root: str,
+        num_images: int = 400,
+        image_shape: tuple | None = None,
+        bands=None,
+        transform=None,
+        include_additional_features: bool = False,
+        download: bool = True,
+    ):
+        height, width = image_shape or self.IMAGE_SHAPE
+        super().__init__(
+            root,
+            generator=generate_classification_rasters,
+            generator_config={
+                "num_images": num_images,
+                "num_classes": self.NUM_CLASSES,
+                "bands": self.NUM_BANDS,
+                "height": height,
+                "width": width,
+                "seed": self.SEED,
+            },
+            bands=bands,
+            transform=transform,
+            include_additional_features=include_additional_features,
+            download=download,
+        )
+
+    @property
+    def num_classes(self) -> int:
+        return self.NUM_CLASSES
+
+
+class EuroSAT(_ClassificationDataset):
+    """EuroSAT [3]: 10-class land-use classification, 13 Sentinel-2
+    bands, 64x64 images (scaled default 32x32 to fit one core; pass
+    ``image_shape=(64, 64)`` for the paper-faithful shape)."""
+
+    DATASET_NAME = "eurosat"
+    IMAGE_SHAPE = (32, 32)
+    NUM_CLASSES = 10
+    NUM_BANDS = 13
+    SEED = 301
+
+
+class SAT4(_ClassificationDataset):
+    """SAT-4 [13]: 4-class airborne classification, 4 bands, 28x28."""
+
+    DATASET_NAME = "sat4"
+    IMAGE_SHAPE = (28, 28)
+    NUM_CLASSES = 4
+    NUM_BANDS = 4
+    SEED = 302
+
+
+class SAT6(_ClassificationDataset):
+    """SAT-6 [13]: 6-class airborne classification, 4 bands, 28x28."""
+
+    DATASET_NAME = "sat6"
+    IMAGE_SHAPE = (28, 28)
+    NUM_CLASSES = 6
+    NUM_BANDS = 4
+    SEED = 303
+
+
+class SlumDetection(_ClassificationDataset):
+    """SlumDetection [45]: binary informal-settlement detection,
+    4 bands, 32x32."""
+
+    DATASET_NAME = "slum_detection"
+    IMAGE_SHAPE = (32, 32)
+    NUM_CLASSES = 2
+    NUM_BANDS = 4
+    SEED = 304

@@ -1,0 +1,66 @@
+"""File-backed raster dataset machinery (same download-then-load
+pattern as the grid side)."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+
+from repro.core.datasets.base import RasterDataset
+
+
+class FileBackedRasterDataset(RasterDataset):
+    """Named raster dataset stored under ``root/<DATASET_NAME>/data.npz``."""
+
+    DATASET_NAME = "unnamed"
+
+    def __init__(
+        self,
+        root: str,
+        generator,
+        generator_config: dict,
+        bands=None,
+        transform=None,
+        include_additional_features: bool = False,
+        download: bool = True,
+    ):
+        images, labels = self._load_or_generate(
+            root, generator, generator_config, download
+        )
+        super().__init__(
+            images,
+            labels,
+            bands=bands,
+            transform=transform,
+            include_additional_features=include_additional_features,
+        )
+        self.root = root
+
+    @classmethod
+    def _dataset_dir(cls, root: str) -> str:
+        return os.path.join(root, cls.DATASET_NAME)
+
+    def _load_or_generate(self, root, generator, config, download):
+        data_path = os.path.join(self._dataset_dir(root), "data.npz")
+        config_path = os.path.join(self._dataset_dir(root), "config.json")
+        if os.path.exists(data_path):
+            fresh = True
+            if os.path.exists(config_path):
+                with open(config_path) as handle:
+                    fresh = json.load(handle) == config
+            if fresh:
+                with np.load(data_path) as archive:
+                    return archive["images"], archive["labels"]
+        if not download:
+            raise FileNotFoundError(
+                f"{self.DATASET_NAME} not found under {root} and "
+                f"download=False"
+            )
+        images, labels = generator(**config)
+        os.makedirs(self._dataset_dir(root), exist_ok=True)
+        np.savez(data_path.removesuffix(".npz"), images=images, labels=labels)
+        with open(config_path, "w") as handle:
+            json.dump(config, handle)
+        return images, labels

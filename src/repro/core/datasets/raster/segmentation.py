@@ -1,0 +1,51 @@
+"""Raster segmentation datasets."""
+
+from __future__ import annotations
+
+from repro.core.datasets.raster.file_backed import FileBackedRasterDataset
+from repro.core.datasets.synth import generate_segmentation_rasters
+
+
+class Cloud38(FileBackedRasterDataset):
+    """38-Cloud [4]: binary cloud segmentation of Landsat-8 scenes,
+    4 bands.  Paper tiles are 384x384; the scaled default is 48x48
+    (pass ``image_shape=(384, 384)`` for the paper-faithful shape —
+    UNet's two pool/unpool stages require dims divisible by 4).
+
+    Labels are (H, W) binary masks.
+    """
+
+    DATASET_NAME = "cloud38"
+    NUM_BANDS = 4
+    NUM_CLASSES = 2
+    SEED = 305
+
+    def __init__(
+        self,
+        root: str,
+        num_images: int = 80,
+        image_shape: tuple = (48, 48),
+        bands=None,
+        transform=None,
+        download: bool = True,
+    ):
+        height, width = image_shape
+        super().__init__(
+            root,
+            generator=generate_segmentation_rasters,
+            generator_config={
+                "num_images": num_images,
+                "bands": self.NUM_BANDS,
+                "height": height,
+                "width": width,
+                "seed": self.SEED,
+            },
+            bands=bands,
+            transform=transform,
+            include_additional_features=False,
+            download=download,
+        )
+
+    @property
+    def num_classes(self) -> int:
+        return self.NUM_CLASSES

@@ -1,0 +1,5 @@
+"""GeoTorchAI models: grid spatiotemporal + raster imagery."""
+
+from repro.core.models import grid, raster
+
+__all__ = ["grid", "raster"]

@@ -1,0 +1,8 @@
+"""Grid-based spatiotemporal prediction models."""
+
+from repro.core.models.grid.periodical_cnn import PeriodicalCNN
+from repro.core.models.grid.convlstm import ConvLSTMModel
+from repro.core.models.grid.st_resnet import STResNet
+from repro.core.models.grid.deepstn import DeepSTNPlus
+
+__all__ = ["PeriodicalCNN", "ConvLSTMModel", "STResNet", "DeepSTNPlus"]

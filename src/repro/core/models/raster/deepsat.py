@@ -1,0 +1,49 @@
+"""DeepSAT (Basu et al., SIGSPATIAL 2015).
+
+The original DeepSAT classifies satellite imagery from ~50 handcrafted,
+normalized features through a deep belief network — no convolutions.
+Reproduced as a deep fully-connected classifier over the feature
+vector (the modern equivalent of the DBN's discriminative fine-tuning
+stage).  Pair with ``RasterDataset(include_additional_features=True)``,
+which extracts the GLCM texture + spectral statistics DeepSAT uses.
+"""
+
+from __future__ import annotations
+
+from repro import nn
+from repro.utils.validation import check_positive
+
+
+class DeepSat(nn.Module):
+    """Feature-vector classifier: (N, num_features) -> (N, classes)."""
+
+    def __init__(
+        self,
+        num_features: int,
+        num_classes: int,
+        hidden_sizes=(64, 32),
+        dropout: float = 0.1,
+        rng=None,
+    ):
+        super().__init__()
+        check_positive(num_features, "num_features")
+        check_positive(num_classes, "num_classes")
+        layers = []
+        width = num_features
+        for hidden in hidden_sizes:
+            layers.append(nn.Linear(width, hidden, rng=rng))
+            layers.append(nn.ReLU())
+            if dropout:
+                layers.append(nn.Dropout(dropout, rng=rng))
+            width = hidden
+        layers.append(nn.Linear(width, num_classes, rng=rng))
+        self.classifier = nn.Sequential(*layers)
+        self.num_features = num_features
+
+    def forward(self, features):
+        if features.shape[-1] != self.num_features:
+            raise ValueError(
+                f"expected {self.num_features} features, got "
+                f"{features.shape[-1]}"
+            )
+        return self.classifier(features)

@@ -1,0 +1,65 @@
+"""DeepSAT-V2 (Liu et al., 2019): feature-augmented CNN.
+
+A *shallower* CNN than SatCNN, compensated by fusing handcrafted
+features (GLCM texture + spectral statistics) into the fully-connected
+stage — the design whose parity with SatCNN Table VI demonstrates.
+Forward takes ``(inputs, features)`` per the paper's Listing 6.
+"""
+
+from __future__ import annotations
+
+from repro import nn
+from repro.tensor import concatenate
+from repro.utils.validation import check_non_negative, check_positive
+
+
+class DeepSatV2(nn.Module):
+    """Shallow CNN + handcrafted-feature fusion classifier."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        in_height: int,
+        in_width: int,
+        num_classes: int,
+        num_filtered_features: int = 0,
+        base_filters: int = 16,
+        rng=None,
+    ):
+        super().__init__()
+        check_positive(num_classes, "num_classes")
+        check_non_negative(num_filtered_features, "num_filtered_features")
+        if in_height % 2 or in_width % 2:
+            raise ValueError(
+                f"DeepSatV2 pools once; input ({in_height}, {in_width}) "
+                f"must be even"
+            )
+        f = base_filters
+        self.features = nn.Sequential(
+            nn.Conv2d(in_channels, f, 3, padding=1, rng=rng),
+            nn.BatchNorm2d(f),
+            nn.ReLU(),
+            nn.MaxPool2d(2),
+            nn.Conv2d(f, f, 3, padding=1, rng=rng),
+            nn.BatchNorm2d(f),
+            nn.ReLU(),
+        )
+        self.num_filtered_features = num_filtered_features
+        flat = f * (in_height // 2) * (in_width // 2)
+        self.fuse = nn.Sequential(
+            nn.Linear(flat + num_filtered_features, 4 * f, rng=rng),
+            nn.ReLU(),
+            nn.Dropout(0.25, rng=rng),
+            nn.Linear(4 * f, num_classes, rng=rng),
+        )
+
+    def forward(self, inputs, features=None):
+        x = self.features(inputs).flatten(start_axis=1)
+        if self.num_filtered_features:
+            if features is None:
+                raise ValueError(
+                    "model was built with num_filtered_features > 0 but no "
+                    "feature vector was passed"
+                )
+            x = concatenate([x, features], axis=1)
+        return self.fuse(x)

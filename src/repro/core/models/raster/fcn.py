@@ -1,0 +1,45 @@
+"""Fully Convolutional Network for semantic segmentation
+(Shelhamer, Long & Darrell, 2017) — the FCN-style baseline in
+Table VI: a conv encoder, a 1x1 class head at low resolution, and a
+learned transposed-conv upsampler back to input resolution."""
+
+from __future__ import annotations
+
+from repro import nn
+
+
+class FCN(nn.Module):
+    """Pixelwise classifier producing (N, num_classes, H, W) logits."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        num_classes: int,
+        base_filters: int = 16,
+        rng=None,
+    ):
+        super().__init__()
+        f = base_filters
+        self.encoder = nn.Sequential(
+            nn.Conv2d(in_channels, f, 3, padding=1, rng=rng),
+            nn.ReLU(),
+            nn.MaxPool2d(2),
+            nn.Conv2d(f, 2 * f, 3, padding=1, rng=rng),
+            nn.ReLU(),
+            nn.MaxPool2d(2),
+            nn.Conv2d(2 * f, 2 * f, 3, padding=1, rng=rng),
+            nn.ReLU(),
+        )
+        self.score = nn.Conv2d(2 * f, num_classes, 1, rng=rng)
+        self.upsample = nn.ConvTranspose2d(
+            num_classes, num_classes, 4, stride=4, rng=rng
+        )
+
+    def forward(self, x):
+        if x.shape[2] % 4 or x.shape[3] % 4:
+            raise ValueError(
+                f"FCN downsamples 4x; input {x.shape[2]}x{x.shape[3]} must "
+                f"be divisible by 4"
+            )
+        features = self.encoder(x)
+        return self.upsample(self.score(features))

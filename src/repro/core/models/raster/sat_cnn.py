@@ -1,0 +1,62 @@
+"""SatCNN (Zhong et al., 2017): an "agile" deep CNN for satellite
+image classification — several conv-bn-relu stages with pooling, then
+fully-connected classification.  The deeper of the two classifiers in
+Table VI (and the slower one in Table VII)."""
+
+from __future__ import annotations
+
+from repro import nn
+from repro.utils.validation import check_positive
+
+
+class SatCNN(nn.Module):
+    """Deep convolutional classifier over (N, C, H, W) raster images.
+
+    Parameters mirror the paper's Listing 6: ``in_channels``,
+    ``in_height``, ``in_width``, ``num_classes``.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        in_height: int,
+        in_width: int,
+        num_classes: int,
+        base_filters: int = 16,
+        rng=None,
+    ):
+        super().__init__()
+        check_positive(num_classes, "num_classes")
+        if in_height % 4 or in_width % 4:
+            raise ValueError(
+                f"SatCNN pools twice; input ({in_height}, {in_width}) must "
+                f"be divisible by 4"
+            )
+        f = base_filters
+        self.features = nn.Sequential(
+            nn.Conv2d(in_channels, f, 3, padding=1, rng=rng),
+            nn.BatchNorm2d(f),
+            nn.ReLU(),
+            nn.Conv2d(f, f, 3, padding=1, rng=rng),
+            nn.BatchNorm2d(f),
+            nn.ReLU(),
+            nn.MaxPool2d(2),
+            nn.Conv2d(f, 2 * f, 3, padding=1, rng=rng),
+            nn.BatchNorm2d(2 * f),
+            nn.ReLU(),
+            nn.Conv2d(2 * f, 2 * f, 3, padding=1, rng=rng),
+            nn.BatchNorm2d(2 * f),
+            nn.ReLU(),
+            nn.MaxPool2d(2),
+        )
+        flat = 2 * f * (in_height // 4) * (in_width // 4)
+        self.classifier = nn.Sequential(
+            nn.Linear(flat, 4 * f, rng=rng),
+            nn.ReLU(),
+            nn.Linear(4 * f, num_classes, rng=rng),
+        )
+
+    def forward(self, x):
+        x = self.features(x)
+        x = x.flatten(start_axis=1)
+        return self.classifier(x)

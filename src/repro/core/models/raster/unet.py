@@ -1,0 +1,60 @@
+"""U-Net (Ronneberger et al., 2015): encoder-decoder with skip
+connections.  Two pool/up stages (depth 2) by default, sized for the
+scaled 38-Cloud tiles."""
+
+from __future__ import annotations
+
+from repro import nn
+from repro.nn import functional as F
+from repro.tensor import concatenate
+
+
+class DoubleConv(nn.Module):
+    """(conv-relu) x2, the U-Net building block."""
+
+    def __init__(self, in_channels: int, out_channels: int, rng=None):
+        super().__init__()
+        self.block = nn.Sequential(
+            nn.Conv2d(in_channels, out_channels, 3, padding=1, rng=rng),
+            nn.ReLU(),
+            nn.Conv2d(out_channels, out_channels, 3, padding=1, rng=rng),
+            nn.ReLU(),
+        )
+
+    def forward(self, x):
+        return self.block(x)
+
+
+class UNet(nn.Module):
+    """U-Net segmentation network producing per-pixel class logits."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        num_classes: int,
+        base_filters: int = 12,
+        rng=None,
+    ):
+        super().__init__()
+        f = base_filters
+        self.enc0 = DoubleConv(in_channels, f, rng=rng)
+        self.enc1 = DoubleConv(f, 2 * f, rng=rng)
+        self.bottleneck = DoubleConv(2 * f, 4 * f, rng=rng)
+        self.up1 = nn.ConvTranspose2d(4 * f, 2 * f, 2, stride=2, rng=rng)
+        self.dec1 = DoubleConv(4 * f, 2 * f, rng=rng)
+        self.up0 = nn.ConvTranspose2d(2 * f, f, 2, stride=2, rng=rng)
+        self.dec0 = DoubleConv(2 * f, f, rng=rng)
+        self.head = nn.Conv2d(f, num_classes, 1, rng=rng)
+
+    def forward(self, x):
+        if x.shape[2] % 4 or x.shape[3] % 4:
+            raise ValueError(
+                f"UNet pools twice; input {x.shape[2]}x{x.shape[3]} must be "
+                f"divisible by 4"
+            )
+        s0 = self.enc0(x)
+        s1 = self.enc1(F.max_pool2d(s0, 2))
+        b = self.bottleneck(F.max_pool2d(s1, 2))
+        d1 = self.dec1(concatenate([self.up1(b), s1], axis=1))
+        d0 = self.dec0(concatenate([self.up0(d1), s0], axis=1))
+        return self.head(d0)

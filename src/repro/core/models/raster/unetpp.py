@@ -1,0 +1,56 @@
+"""UNet++ (Zhou et al., 2018): nested U-Net with dense skip pathways.
+
+A depth-2 nested grid of nodes X(i, j): X(i, j) for j > 0 decodes the
+upsampled X(i+1, j-1) together with *all* same-level predecessors
+X(i, 0..j-1).  Denser decoding is why UNet++ is both the most accurate
+and the slowest segmentation model in Tables VI and VII.
+"""
+
+from __future__ import annotations
+
+from repro import nn
+from repro.nn import functional as F
+from repro.tensor import concatenate
+
+from repro.core.models.raster.unet import DoubleConv
+
+
+class UNetPlusPlus(nn.Module):
+    """Nested U-Net producing per-pixel class logits."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        num_classes: int,
+        base_filters: int = 12,
+        rng=None,
+    ):
+        super().__init__()
+        f = base_filters
+        # Backbone column j=0
+        self.x00 = DoubleConv(in_channels, f, rng=rng)
+        self.x10 = DoubleConv(f, 2 * f, rng=rng)
+        self.x20 = DoubleConv(2 * f, 4 * f, rng=rng)
+        # Upsamplers
+        self.up10 = nn.ConvTranspose2d(2 * f, f, 2, stride=2, rng=rng)
+        self.up20 = nn.ConvTranspose2d(4 * f, 2 * f, 2, stride=2, rng=rng)
+        self.up11 = nn.ConvTranspose2d(2 * f, f, 2, stride=2, rng=rng)
+        # Nested decoder nodes
+        self.x01 = DoubleConv(2 * f, f, rng=rng)  # [x00, up(x10)]
+        self.x11 = DoubleConv(4 * f, 2 * f, rng=rng)  # [x10, up(x20)]
+        self.x02 = DoubleConv(3 * f, f, rng=rng)  # [x00, x01, up(x11)]
+        self.head = nn.Conv2d(f, num_classes, 1, rng=rng)
+
+    def forward(self, x):
+        if x.shape[2] % 4 or x.shape[3] % 4:
+            raise ValueError(
+                f"UNet++ pools twice; input {x.shape[2]}x{x.shape[3]} must "
+                f"be divisible by 4"
+            )
+        x00 = self.x00(x)
+        x10 = self.x10(F.max_pool2d(x00, 2))
+        x20 = self.x20(F.max_pool2d(x10, 2))
+        x01 = self.x01(concatenate([x00, self.up10(x10)], axis=1))
+        x11 = self.x11(concatenate([x10, self.up20(x20)], axis=1))
+        x02 = self.x02(concatenate([x00, x01, self.up11(x11)], axis=1))
+        return self.head(x02)

@@ -1,0 +1,32 @@
+"""Scalable data preprocessing (the paper's Section III-B).
+
+Module-level helpers mirror the paper's ``geotorchai.preprocessing``
+namespace (Listing 9): :func:`load_geotiff_image` and
+:func:`write_geotiff_image` wrap the ``.rtif`` raster DataFrame I/O.
+"""
+
+from repro.core.preprocessing.grid.st_manager import STManager
+from repro.core.preprocessing.grid.space_partition import SpacePartition
+from repro.core.preprocessing.raster.raster_processing import RasterProcessing
+from repro.spatial.raster_io import load_raster_folder, write_raster_dataframe
+
+
+def load_geotiff_image(session, path_to_dataset: str, tiles_per_partition: int = 64):
+    """Load a folder of raster tiles as a raster DataFrame
+    (paper API: ``gpp.load_geotiff_image``)."""
+    return load_raster_folder(session, path_to_dataset, tiles_per_partition)
+
+
+def write_geotiff_image(raster_df, destination_path: str) -> int:
+    """Write a raster DataFrame back to disk
+    (paper API: ``gpp.write_geotiff_image``)."""
+    return write_raster_dataframe(raster_df, destination_path)
+
+
+__all__ = [
+    "STManager",
+    "SpacePartition",
+    "RasterProcessing",
+    "load_geotiff_image",
+    "write_geotiff_image",
+]

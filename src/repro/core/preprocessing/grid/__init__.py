@@ -1,0 +1,6 @@
+"""Grid-based spatiotemporal preprocessing."""
+
+from repro.core.preprocessing.grid.st_manager import STManager
+from repro.core.preprocessing.grid.space_partition import SpacePartition
+
+__all__ = ["STManager", "SpacePartition"]

@@ -1,0 +1,230 @@
+"""``STManager``: raw spatiotemporal records -> grid tensors.
+
+Reproduces the paper's Listing 8 API:
+
+.. code-block:: python
+
+    from repro.core.preprocessing.grid import STManager as stm
+
+    spatial_df = stm.add_spatial_points(df=data_df, lat_column="lat",
+                                        lon_column="lon",
+                                        new_column_alias="point")
+    st_df = stm.get_st_grid_dataframe(geo_df=spatial_df, geometry="point",
+                                      partitions_x=12, partitions_y=16,
+                                      col_date="time_column",
+                                      step_duration_sec=1800)
+    array = stm.get_st_grid_array(st_df, partitions_x=12, partitions_y=16)
+
+Geometry columns are stored *packed* (struct-of-arrays: ``point__x``
+and ``point__y`` float columns), the engine analogue of Sedona's
+efficient geometry encoding — in contrast to the eager baseline's one
+Python object per row.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine.aggregates import AggSpec, count
+from repro.engine.dataframe import DataFrame
+from repro.engine.expressions import col, udf
+from repro.geometry.envelope import Envelope
+from repro.geometry.grid import UniformGrid
+from repro.utils.validation import check_positive
+
+
+def _x_col(geometry: str) -> str:
+    return f"{geometry}__x"
+
+
+def _y_col(geometry: str) -> str:
+    return f"{geometry}__y"
+
+
+class STManager:
+    """Static facade for spatiotemporal tensor preparation."""
+
+    @staticmethod
+    def add_spatial_points(
+        df: DataFrame,
+        lat_column: str,
+        lon_column: str,
+        new_column_alias: str = "point",
+    ) -> DataFrame:
+        """Attach a packed point-geometry column built from lat/lon."""
+
+        def as_float(values):
+            return np.asarray(values, dtype=np.float64)
+
+        return df.with_column(
+            _x_col(new_column_alias), udf(as_float, [lon_column], name="x")
+        ).with_column(
+            _y_col(new_column_alias), udf(as_float, [lat_column], name="y")
+        )
+
+    @staticmethod
+    def compute_envelope(df: DataFrame, geometry: str = "point") -> Envelope:
+        """Stream the dataset once to find its bounding envelope."""
+        xname, yname = _x_col(geometry), _y_col(geometry)
+        min_x = min_y = np.inf
+        max_x = max_y = -np.inf
+        for part in df.select(xname, yname).iter_partitions():
+            if part.num_rows == 0:
+                continue
+            xs = part.columns[xname]
+            ys = part.columns[yname]
+            min_x = min(min_x, float(xs.min()))
+            max_x = max(max_x, float(xs.max()))
+            min_y = min(min_y, float(ys.min()))
+            max_y = max(max_y, float(ys.max()))
+        if not np.isfinite(min_x):
+            raise ValueError("cannot compute an envelope of an empty DataFrame")
+        return Envelope(min_x, max_x, min_y, max_y)
+
+    @staticmethod
+    def get_st_grid_dataframe(
+        geo_df: DataFrame,
+        geometry: str,
+        partitions_x: int,
+        partitions_y: int,
+        col_date: str,
+        step_duration_sec: float,
+        envelope: Envelope | None = None,
+        temporal_origin: float | None = None,
+        aggregations: list[AggSpec] | None = None,
+    ) -> DataFrame:
+        """Aggregate records into (time_step, cell) groups.
+
+        Returns a lazy DataFrame with columns ``time_step``,
+        ``cell_id``, ``cell_x``, ``cell_y``, and ``count`` plus any
+        extra ``aggregations``.  Records outside the grid envelope are
+        dropped (as spatial-join semantics drop non-matching points).
+        """
+        check_positive(partitions_x, "partitions_x")
+        check_positive(partitions_y, "partitions_y")
+        check_positive(step_duration_sec, "step_duration_sec")
+
+        if envelope is None:
+            envelope = STManager.compute_envelope(geo_df, geometry)
+        grid = UniformGrid(envelope, partitions_x, partitions_y)
+
+        if temporal_origin is None:
+            temporal_origin = STManager._min_time(geo_df, col_date)
+
+        xname, yname = _x_col(geometry), _y_col(geometry)
+
+        def cell_ids(xs, ys):
+            return grid.cell_ids_of_arrays(xs, ys)
+
+        def time_steps(times):
+            t = np.asarray(times, dtype=np.float64)
+            return np.floor((t - temporal_origin) / step_duration_sec).astype(
+                np.int64
+            )
+
+        specs = [count(name="count")] + list(aggregations or [])
+        st = (
+            geo_df.with_column("cell_id", udf(cell_ids, [xname, yname], name="cell"))
+            .with_column("time_step", udf(time_steps, [col_date], name="step"))
+            .filter(col("cell_id") >= 0)
+            .group_by("time_step", "cell_id")
+            .agg(*specs)
+            .with_column("cell_x", col("cell_id") % partitions_x)
+            .with_column("cell_y", col("cell_id") // partitions_x)
+        )
+        return st
+
+    @staticmethod
+    def _min_time(df: DataFrame, col_date: str) -> float:
+        lowest = np.inf
+        for part in df.select(col_date).iter_partitions():
+            if part.num_rows:
+                lowest = min(lowest, float(part.columns[col_date].min()))
+        if not np.isfinite(lowest):
+            raise ValueError("cannot derive a temporal origin from empty data")
+        return lowest
+
+    @staticmethod
+    def get_st_grid_array(
+        st_df: DataFrame,
+        partitions_x: int,
+        partitions_y: int,
+        num_steps: int | None = None,
+        value_columns: list[str] | None = None,
+    ) -> np.ndarray:
+        """Materialize an aggregated DataFrame into a dense
+        (T, H, W, C) float32 tensor (H = partitions_y rows, W =
+        partitions_x columns, C = one channel per value column).
+
+        The fill streams partition-by-partition; only the output
+        tensor is ever fully resident.
+        """
+        value_columns = value_columns or ["count"]
+        if num_steps is None:
+            num_steps = 0
+            parts = []
+            for part in st_df.iter_partitions():
+                parts.append(part)
+                if part.num_rows:
+                    num_steps = max(
+                        num_steps, int(part.columns["time_step"].max()) + 1
+                    )
+            iterator = iter(parts)
+        else:
+            iterator = st_df.iter_partitions()
+
+        tensor = np.zeros(
+            (num_steps, partitions_y, partitions_x, len(value_columns)),
+            dtype=np.float32,
+        )
+        for part in iterator:
+            if part.num_rows == 0:
+                continue
+            steps = np.asarray(part.columns["time_step"], dtype=np.int64)
+            cells = np.asarray(part.columns["cell_id"], dtype=np.int64)
+            valid = (steps >= 0) & (steps < num_steps)
+            steps, cells = steps[valid], cells[valid]
+            ys, xs = cells // partitions_x, cells % partitions_x
+            for channel, name in enumerate(value_columns):
+                values = np.asarray(part.columns[name], dtype=np.float32)[valid]
+                tensor[steps, ys, xs, channel] = values
+        return tensor
+
+    @staticmethod
+    def get_adjacency_dataframe(
+        session,
+        partitions_x: int,
+        partitions_y: int,
+        diagonal: bool = False,
+    ) -> DataFrame:
+        """Cell-adjacency pairs as a DataFrame (``cell_id``,
+        ``neighbor_id``) — the "calculating adjacency between grid
+        cells" preprocessing step, for graph-style consumers."""
+        check_positive(partitions_x, "partitions_x")
+        check_positive(partitions_y, "partitions_y")
+        grid = UniformGrid(
+            Envelope(0, partitions_x, 0, partitions_y),
+            partitions_x,
+            partitions_y,
+        )
+        adjacency = grid.adjacency_matrix(diagonal=diagonal)
+        cells, neighbors = np.nonzero(adjacency)
+        return session.create_dataframe(
+            {
+                "cell_id": cells.astype(np.int64),
+                "neighbor_id": neighbors.astype(np.int64),
+            }
+        )
+
+    @staticmethod
+    def write_st_grid_array(array: np.ndarray, path: str) -> str:
+        """Persist a prepared tensor for the datasets module to load."""
+        if not path.endswith(".npz"):
+            path = path + ".npz"
+        np.savez(path.removesuffix(".npz"), st_tensor=array)
+        return path
+
+    @staticmethod
+    def read_st_grid_array(path: str) -> np.ndarray:
+        with np.load(path) as archive:
+            return archive["st_tensor"]

@@ -1,0 +1,107 @@
+"""Gray-Level Co-occurrence Matrix texture features.
+
+DeepSAT-V2 fuses handcrafted texture features with CNN features; the
+paper's preprocessing module extracts GLCM contrast, dissimilarity,
+homogeneity, ASM/energy, and correlation.  This implementation follows
+Hall-Beyer's tutorial conventions: the band is quantized to ``levels``
+gray levels, co-occurrences are accumulated for the given pixel
+offsets, and the matrix is symmetrized and normalized before feature
+computation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+DEFAULT_OFFSETS = ((0, 1), (1, 0), (1, 1), (1, -1))
+FEATURE_NAMES = (
+    "contrast",
+    "dissimilarity",
+    "homogeneity",
+    "asm",
+    "energy",
+    "correlation",
+)
+
+
+def quantize(band: np.ndarray, levels: int) -> np.ndarray:
+    """Quantize a band to integer gray levels 0..levels-1."""
+    band = np.asarray(band, dtype=np.float64)
+    low, high = band.min(), band.max()
+    if high <= low:
+        return np.zeros(band.shape, dtype=np.int64)
+    scaled = (band - low) / (high - low) * (levels - 1)
+    return np.clip(np.rint(scaled), 0, levels - 1).astype(np.int64)
+
+
+def glcm_matrix(
+    band: np.ndarray,
+    levels: int = 16,
+    offsets=DEFAULT_OFFSETS,
+    symmetric: bool = True,
+) -> np.ndarray:
+    """Normalized co-occurrence matrix summed over offsets."""
+    q = quantize(band, levels)
+    h, w = q.shape
+    matrix = np.zeros((levels, levels), dtype=np.float64)
+    for dy, dx in offsets:
+        y0, y1 = max(0, -dy), min(h, h - dy)
+        x0, x1 = max(0, -dx), min(w, w - dx)
+        a = q[y0:y1, x0:x1].ravel()
+        b = q[y0 + dy : y1 + dy, x0 + dx : x1 + dx].ravel()
+        np.add.at(matrix, (a, b), 1.0)
+    if symmetric:
+        matrix = matrix + matrix.T
+    total = matrix.sum()
+    if total > 0:
+        matrix /= total
+    return matrix
+
+
+def glcm_features(
+    band: np.ndarray, levels: int = 16, offsets=DEFAULT_OFFSETS
+) -> dict:
+    """Compute the six standard GLCM features of a band.
+
+    Returns a dict keyed by :data:`FEATURE_NAMES`.
+    """
+    p = glcm_matrix(band, levels=levels, offsets=offsets)
+    i = np.arange(levels)[:, None]
+    j = np.arange(levels)[None, :]
+    diff = i - j
+
+    contrast = float((p * diff**2).sum())
+    dissimilarity = float((p * np.abs(diff)).sum())
+    homogeneity = float((p / (1.0 + diff**2)).sum())
+    asm = float((p**2).sum())
+    energy = float(np.sqrt(asm))
+
+    mu_i = float((p * i).sum())
+    mu_j = float((p * j).sum())
+    var_i = float((p * (i - mu_i) ** 2).sum())
+    var_j = float((p * (j - mu_j) ** 2).sum())
+    denom = np.sqrt(var_i * var_j)
+    if denom > 1e-12:
+        correlation = float((p * (i - mu_i) * (j - mu_j)).sum() / denom)
+    else:
+        correlation = 0.0
+
+    return {
+        "contrast": contrast,
+        "dissimilarity": dissimilarity,
+        "homogeneity": homogeneity,
+        "asm": asm,
+        "energy": energy,
+        "correlation": correlation,
+    }
+
+
+def glcm_feature_vector(
+    band: np.ndarray, levels: int = 16, offsets=DEFAULT_OFFSETS
+) -> np.ndarray:
+    """The six features as a float32 vector ordered by
+    :data:`FEATURE_NAMES`."""
+    features = glcm_features(band, levels=levels, offsets=offsets)
+    return np.asarray(
+        [features[name] for name in FEATURE_NAMES], dtype=np.float32
+    )

@@ -1,0 +1,43 @@
+"""Early stopping on a validation metric (paper Section V-C)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class EarlyStopping:
+    """Stop training when the monitored value stops improving.
+
+    >>> stopper = EarlyStopping(patience=2)
+    >>> [stopper.step(v) for v in (1.0, 0.9, 0.95, 0.97)]
+    [False, False, False, True]
+    """
+
+    def __init__(self, patience: int = 3, min_delta: float = 0.0, mode: str = "min"):
+        if patience < 1:
+            raise ValueError("patience must be >= 1")
+        if mode not in ("min", "max"):
+            raise ValueError("mode must be 'min' or 'max'")
+        self.patience = patience
+        self.min_delta = min_delta
+        self.mode = mode
+        self.best = np.inf if mode == "min" else -np.inf
+        self.bad_epochs = 0
+        self.stopped = False
+
+    def _improved(self, value: float) -> bool:
+        if self.mode == "min":
+            return value < self.best - self.min_delta
+        return value > self.best + self.min_delta
+
+    def step(self, value: float) -> bool:
+        """Record one epoch's value; returns True when training should
+        stop."""
+        if self._improved(value):
+            self.best = value
+            self.bad_epochs = 0
+        else:
+            self.bad_epochs += 1
+            if self.bad_epochs >= self.patience:
+                self.stopped = True
+        return self.stopped

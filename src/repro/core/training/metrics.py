@@ -1,0 +1,36 @@
+"""Evaluation metrics (paper Section V-A3)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _arrays(pred, target):
+    pred = pred.data if hasattr(pred, "data") else np.asarray(pred)
+    target = target.data if hasattr(target, "data") else np.asarray(target)
+    return np.asarray(pred), np.asarray(target)
+
+
+def mae(pred, target) -> float:
+    """Mean absolute error."""
+    pred, target = _arrays(pred, target)
+    return float(np.abs(pred - target).mean())
+
+
+def rmse(pred, target) -> float:
+    """Root mean squared error."""
+    pred, target = _arrays(pred, target)
+    return float(np.sqrt(((pred - target) ** 2).mean()))
+
+
+def accuracy(logits, labels) -> float:
+    """Classification accuracy from (N, K) logits and (N,) labels."""
+    logits, labels = _arrays(logits, labels)
+    return float((logits.argmax(axis=1) == labels).mean())
+
+
+def pixel_accuracy(logits, masks) -> float:
+    """Segmentation accuracy from (N, K, H, W) logits and (N, H, W)
+    integer masks."""
+    logits, masks = _arrays(logits, masks)
+    return float((logits.argmax(axis=1) == masks).mean())

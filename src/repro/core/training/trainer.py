@@ -1,0 +1,169 @@
+"""The training loop.
+
+Supports both update schedules the paper describes (Section III-A2):
+*incremental* (weights step after every batch — the paper's default)
+and *cumulative* (gradients accumulate across the epoch and step once).
+Validation-driven early stopping mirrors Section V-C.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.core.training.early_stopping import EarlyStopping
+from repro.tensor import no_grad
+
+
+@dataclass
+class TrainingResult:
+    """What a fit() run produced."""
+
+    train_losses: list = field(default_factory=list)
+    val_losses: list = field(default_factory=list)
+    epochs_run: int = 0
+    stopped_early: bool = False
+    epoch_seconds: list = field(default_factory=list)
+
+    @property
+    def best_val_loss(self) -> float:
+        return min(self.val_losses) if self.val_losses else float("nan")
+
+    @property
+    def mean_epoch_seconds(self) -> float:
+        if not self.epoch_seconds:
+            return float("nan")
+        return sum(self.epoch_seconds) / len(self.epoch_seconds)
+
+
+class Trainer:
+    """Generic trainer over any model + adapter pair.
+
+    Parameters
+    ----------
+    model, optimizer, loss_fn:
+        The usual trio.
+    batch_adapter:
+        Maps a collated batch to ``(inputs_tuple, target)`` — see
+        :mod:`repro.core.training.adapters`.
+    training_mode:
+        ``"incremental"`` (step per batch) or ``"cumulative"``
+        (step per epoch).
+    """
+
+    def __init__(
+        self,
+        model,
+        optimizer,
+        loss_fn,
+        batch_adapter,
+        training_mode: str = "incremental",
+        grad_clip: float | None = None,
+    ):
+        if training_mode not in ("incremental", "cumulative"):
+            raise ValueError(
+                f"training_mode must be 'incremental' or 'cumulative', "
+                f"got {training_mode!r}"
+            )
+        if grad_clip is not None and grad_clip <= 0:
+            raise ValueError(f"grad_clip must be positive, got {grad_clip}")
+        self.model = model
+        self.optimizer = optimizer
+        self.loss_fn = loss_fn
+        self.batch_adapter = batch_adapter
+        self.training_mode = training_mode
+        self.grad_clip = grad_clip
+
+    def _clip_gradients(self) -> None:
+        """Scale all gradients so their global L2 norm is at most
+        ``grad_clip`` — the standard guard against the divergence
+        spikes saturating heads (tanh) provoke under Adam."""
+        import numpy as np
+
+        total = 0.0
+        params = [p for p in self.model.parameters() if p.grad is not None]
+        for param in params:
+            total += float((param.grad.astype(np.float64) ** 2).sum())
+        norm = total**0.5
+        if norm > self.grad_clip:
+            scale = self.grad_clip / norm
+            for param in params:
+                param.grad *= scale
+
+    # ------------------------------------------------------------------
+    def train_epoch(self, loader) -> float:
+        """One pass over the loader; returns mean batch loss."""
+        self.model.train()
+        total, batches = 0.0, 0
+        if self.training_mode == "cumulative":
+            self.optimizer.zero_grad()
+        for batch in loader:
+            inputs, target = self.batch_adapter(batch)
+            output = self.model(*inputs)
+            loss = self.loss_fn(output, target)
+            if self.training_mode == "incremental":
+                self.optimizer.zero_grad()
+                loss.backward()
+                if self.grad_clip is not None:
+                    self._clip_gradients()
+                self.optimizer.step()
+            else:
+                loss.backward()
+            total += loss.item()
+            batches += 1
+        if self.training_mode == "cumulative" and batches:
+            if self.grad_clip is not None:
+                self._clip_gradients()
+            self.optimizer.step()
+        return total / max(batches, 1)
+
+    def evaluate(self, loader, metrics: dict | None = None) -> dict:
+        """Mean loss (key ``"loss"``) plus any named metrics over a
+        loader, without touching gradients."""
+        self.model.eval()
+        metrics = metrics or {}
+        sums = {name: 0.0 for name in metrics}
+        loss_total, batches = 0.0, 0
+        with no_grad():
+            for batch in loader:
+                inputs, target = self.batch_adapter(batch)
+                output = self.model(*inputs)
+                loss_total += self.loss_fn(output, target).item()
+                for name, fn in metrics.items():
+                    sums[name] += fn(output, target)
+                batches += 1
+        result = {name: value / max(batches, 1) for name, value in sums.items()}
+        result["loss"] = loss_total / max(batches, 1)
+        return result
+
+    def fit(
+        self,
+        train_loader,
+        val_loader=None,
+        epochs: int = 10,
+        early_stopping: EarlyStopping | None = None,
+        verbose: bool = False,
+    ) -> TrainingResult:
+        """Train for up to ``epochs``, optionally early-stopping on
+        validation loss."""
+        result = TrainingResult()
+        for epoch in range(epochs):
+            started = time.perf_counter()
+            train_loss = self.train_epoch(train_loader)
+            result.epoch_seconds.append(time.perf_counter() - started)
+            result.train_losses.append(train_loss)
+            result.epochs_run = epoch + 1
+            if val_loader is not None:
+                val_loss = self.evaluate(val_loader)["loss"]
+                result.val_losses.append(val_loss)
+                if verbose:
+                    print(
+                        f"epoch {epoch + 1}: train={train_loss:.5f} "
+                        f"val={val_loss:.5f}"
+                    )
+                if early_stopping is not None and early_stopping.step(val_loss):
+                    result.stopped_early = True
+                    break
+            elif verbose:
+                print(f"epoch {epoch + 1}: train={train_loss:.5f}")
+        return result

@@ -1,0 +1,23 @@
+"""Transform composition (mirrors ``torchvision.transforms.Compose``)."""
+
+from __future__ import annotations
+
+
+class Compose:
+    """Chain transforms left to right.
+
+    >>> Compose([lambda x: x + 1, lambda x: x * 2])(1)
+    4
+    """
+
+    def __init__(self, transforms):
+        self.transforms = list(transforms)
+
+    def __call__(self, sample):
+        for transform in self.transforms:
+            sample = transform(sample)
+        return sample
+
+    def __repr__(self):
+        inner = ", ".join(repr(t) for t in self.transforms)
+        return f"Compose([{inner}])"

@@ -1,0 +1,54 @@
+"""Grid-sample transforms.
+
+Grid dataset items are ``(x, y)`` tuples or periodical dicts; these
+transforms handle both shapes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _map_item(item, fn):
+    if isinstance(item, dict):
+        return {
+            key: (fn(value) if key.startswith("x_") or key == "y_data" else value)
+            for key, value in item.items()
+        }
+    if isinstance(item, tuple):
+        return tuple(fn(part) for part in item)
+    return fn(item)
+
+
+class GridStandardize:
+    """Z-score all frames of a grid sample with fixed statistics."""
+
+    def __init__(self, mean: float, std: float):
+        if std <= 0:
+            raise ValueError(f"std must be positive, got {std}")
+        self.mean = float(mean)
+        self.std = float(std)
+
+    def __call__(self, item):
+        return _map_item(
+            item, lambda a: ((a - self.mean) / self.std).astype(np.float32)
+        )
+
+    def __repr__(self):
+        return f"GridStandardize(mean={self.mean}, std={self.std})"
+
+
+class ClipValues:
+    """Clip all frame values into [low, high]."""
+
+    def __init__(self, low: float, high: float):
+        if low > high:
+            raise ValueError(f"low {low} exceeds high {high}")
+        self.low = low
+        self.high = high
+
+    def __call__(self, item):
+        return _map_item(item, lambda a: np.clip(a, self.low, self.high))
+
+    def __repr__(self):
+        return f"ClipValues({self.low}, {self.high})"

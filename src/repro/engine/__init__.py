@@ -1,0 +1,38 @@
+"""sparklite — a lazy, partitioned, columnar DataFrame engine.
+
+Substitutes Apache Spark for the preprocessing module.  The programming
+model mirrors PySpark:
+
+- a :class:`Session` creates DataFrames from rows, column dicts, or CSV;
+- a :class:`DataFrame` is a *lazy logical plan*; transformations
+  (``select``, ``filter``, ``with_column``, ``group_by().agg``,
+  ``join``, ``union``, ``order_by``) build the plan;
+- actions (``collect``, ``count``, ``to_columns``, ``show``) execute it.
+
+Execution is partition-at-a-time: narrow operator chains are fused and
+stream one partition through the whole chain before the next is
+touched, so the working set is O(partition + result), not O(dataset) —
+the property the paper's Figure 8 attributes to Spark/Sedona.  A
+:class:`repro.utils.memory.MemoryMeter` can be attached to observe (or
+cap) that working set.
+"""
+
+from repro.engine.session import Session
+from repro.engine.dataframe import DataFrame
+from repro.engine.expressions import col, lit, udf, Expr
+from repro.engine.schema import Schema, Field
+from repro.engine.partition import Partition
+from repro.engine import aggregates as agg
+
+__all__ = [
+    "Session",
+    "DataFrame",
+    "col",
+    "lit",
+    "udf",
+    "Expr",
+    "Schema",
+    "Field",
+    "Partition",
+    "agg",
+]

@@ -1,0 +1,131 @@
+"""Aggregate specifications and mergeable accumulators.
+
+Aggregation runs as Spark does: each input partition is *partially*
+aggregated (vectorized), and the partial states are merged into a
+global hash table keyed by the group key.  Only (num_groups) state is
+ever held, never the input rows — this is the memory property Figure 8
+measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class AggSpec:
+    """One output aggregate: ``kind`` over ``column`` named ``out_name``."""
+
+    out_name: str
+    column: str  # "*" for count
+    kind: str  # count | sum | min | max | mean
+
+    _KINDS = ("count", "sum", "min", "max", "mean")
+
+    def __post_init__(self):
+        if self.kind not in self._KINDS:
+            raise ValueError(
+                f"unknown aggregate {self.kind!r}; expected one of {self._KINDS}"
+            )
+        if self.kind != "count" and self.column == "*":
+            raise ValueError(f"aggregate {self.kind!r} needs a column")
+
+
+def count(column: str = "*", name: str | None = None) -> AggSpec:
+    return AggSpec(name or "count", column, "count")
+
+
+def sum_(column: str, name: str | None = None) -> AggSpec:
+    return AggSpec(name or f"sum_{column}", column, "sum")
+
+
+def min_(column: str, name: str | None = None) -> AggSpec:
+    return AggSpec(name or f"min_{column}", column, "min")
+
+
+def max_(column: str, name: str | None = None) -> AggSpec:
+    return AggSpec(name or f"max_{column}", column, "max")
+
+
+def mean(column: str, name: str | None = None) -> AggSpec:
+    return AggSpec(name or f"mean_{column}", column, "mean")
+
+
+class _State:
+    """Per-group mergeable accumulator for one AggSpec."""
+
+    __slots__ = ("kind", "value", "count")
+
+    def __init__(self, kind: str):
+        self.kind = kind
+        self.value = None
+        self.count = 0
+
+    def update(self, partial_value, partial_count: int) -> None:
+        self.count += partial_count
+        if self.kind == "count":
+            return
+        if self.value is None:
+            self.value = partial_value
+        elif self.kind in ("sum", "mean"):
+            self.value += partial_value
+        elif self.kind == "min":
+            self.value = min(self.value, partial_value)
+        elif self.kind == "max":
+            self.value = max(self.value, partial_value)
+
+    def result(self):
+        if self.kind == "count":
+            return self.count
+        if self.kind == "mean":
+            return self.value / self.count if self.count else float("nan")
+        return self.value
+
+
+def partial_aggregate(keys_arrays, value_array, kind: str):
+    """Vectorized per-partition partial aggregation.
+
+    Returns (unique_key_rows, partial_values, partial_counts) where
+    ``unique_key_rows`` is a list of key tuples.
+    """
+    stacked = np.stack(
+        [np.asarray(k) for k in keys_arrays], axis=1
+    )
+    if stacked.dtype == object:
+        # Fallback: dict-based grouping for non-numeric keys.
+        groups: dict = {}
+        for i in range(stacked.shape[0]):
+            key = tuple(stacked[i])
+            groups.setdefault(key, []).append(i)
+        uniques = list(groups)
+        idx_lists = [np.asarray(groups[k]) for k in uniques]
+        counts = np.array([len(ix) for ix in idx_lists])
+        if kind == "count":
+            return uniques, counts.astype(np.float64), counts
+        vals = np.asarray(value_array, dtype=np.float64)
+        if kind in ("sum", "mean"):
+            partial = np.array([vals[ix].sum() for ix in idx_lists])
+        elif kind == "min":
+            partial = np.array([vals[ix].min() for ix in idx_lists])
+        else:
+            partial = np.array([vals[ix].max() for ix in idx_lists])
+        return uniques, partial, counts
+
+    unique_rows, inverse, counts = np.unique(
+        stacked, axis=0, return_inverse=True, return_counts=True
+    )
+    uniques = [tuple(row) for row in unique_rows]
+    if kind == "count":
+        return uniques, counts.astype(np.float64), counts
+    vals = np.asarray(value_array, dtype=np.float64)
+    if kind in ("sum", "mean"):
+        partial = np.bincount(inverse, weights=vals, minlength=len(uniques))
+    elif kind == "min":
+        partial = np.full(len(uniques), np.inf)
+        np.minimum.at(partial, inverse, vals)
+    else:
+        partial = np.full(len(uniques), -np.inf)
+        np.maximum.at(partial, inverse, vals)
+    return uniques, partial, counts

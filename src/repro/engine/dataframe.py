@@ -1,0 +1,190 @@
+"""The lazy DataFrame API."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine import plan as P
+from repro.engine.aggregates import AggSpec
+from repro.engine.executor import iter_partitions, plan_column_names
+from repro.engine.expressions import Column, Expr
+from repro.engine.partition import Partition
+
+
+class DataFrame:
+    """An immutable, lazy, partitioned table.
+
+    Transformations return new DataFrames without running anything;
+    actions (:meth:`collect`, :meth:`count`, :meth:`to_columns`, ...)
+    execute the plan partition-at-a-time.
+    """
+
+    def __init__(self, session, plan_node: P.PlanNode):
+        self.session = session
+        self.plan = plan_node
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def columns(self) -> list[str]:
+        """Output column names (derived statically from the plan)."""
+        return plan_column_names(self.plan)
+
+    def explain(self) -> str:
+        """Return the logical plan as an indented tree."""
+        return self.plan.describe()
+
+    def __repr__(self):
+        return f"DataFrame[{', '.join(self.columns)}]"
+
+    # ------------------------------------------------------------------
+    # Transformations (lazy)
+    # ------------------------------------------------------------------
+    def _wrap(self, node: P.PlanNode) -> "DataFrame":
+        return DataFrame(self.session, node)
+
+    def select(self, *exprs) -> "DataFrame":
+        """Project columns.  Accepts names or expressions (use
+        ``.alias`` on expressions to name outputs)."""
+        pairs = []
+        for expr in exprs:
+            if isinstance(expr, str):
+                pairs.append((expr, Column(expr)))
+            elif isinstance(expr, Expr):
+                pairs.append((expr.name, expr))
+            else:
+                raise TypeError(f"cannot select {expr!r}")
+        return self._wrap(P.Project(self.plan, pairs))
+
+    def filter(self, predicate: Expr) -> "DataFrame":
+        """Keep rows where the predicate evaluates truthy."""
+        return self._wrap(P.Filter(self.plan, predicate))
+
+    where = filter
+
+    def with_column(self, name: str, expr: Expr) -> "DataFrame":
+        """Add (or replace) a column computed from an expression."""
+        return self._wrap(P.WithColumn(self.plan, name, expr))
+
+    def drop(self, *names) -> "DataFrame":
+        return self._wrap(P.Drop(self.plan, list(names)))
+
+    def union(self, other: "DataFrame") -> "DataFrame":
+        """Concatenate rows (schemas must align by name)."""
+        if set(self.columns) != set(other.columns):
+            raise ValueError(
+                f"union column mismatch: {self.columns} vs {other.columns}"
+            )
+        return self._wrap(P.Union([self.plan, other.plan]))
+
+    def limit(self, n: int) -> "DataFrame":
+        return self._wrap(P.Limit(self.plan, int(n)))
+
+    def group_by(self, *keys) -> "GroupedDataFrame":
+        """Start a grouped aggregation."""
+        return GroupedDataFrame(self, [str(k) for k in keys])
+
+    def join(self, other: "DataFrame", on, how: str = "inner") -> "DataFrame":
+        """Hash join; the right side is the broadcast build side."""
+        on = [on] if isinstance(on, str) else list(on)
+        return self._wrap(P.Join(self.plan, other.plan, on, how))
+
+    def order_by(self, *keys, ascending: bool = True) -> "DataFrame":
+        """Globally sort (materializing operator)."""
+        return self._wrap(P.OrderBy(self.plan, list(keys), ascending))
+
+    def repartition(self, num_partitions: int) -> "DataFrame":
+        return self._wrap(P.Repartition(self.plan, num_partitions))
+
+    def map_partitions(self, fn, label: str = "map_partitions") -> "DataFrame":
+        """Apply ``fn(Partition) -> Partition`` to each partition."""
+        return self._wrap(P.MapPartitions(self.plan, fn, label))
+
+    def cache(self) -> "DataFrame":
+        """Materialize results on first execution and replay them on
+        later executions (Spark ``persist`` semantics) — skips
+        upstream recomputation when the DataFrame is iterated
+        repeatedly (e.g. once per training epoch), at the cost of
+        keeping the partitions resident."""
+        return self._wrap(P.Cache(self.plan))
+
+    # ------------------------------------------------------------------
+    # Actions (eager)
+    # ------------------------------------------------------------------
+    def iter_partitions(self):
+        """Stream result partitions (the out-of-core access path used
+        by the DFtoTorch converter)."""
+        return iter_partitions(self.plan, meter=self.session.meter)
+
+    def collect(self) -> list[dict]:
+        """Materialize all rows as dicts (test/debug path)."""
+        rows = []
+        for part in self.iter_partitions():
+            rows.extend(part.rows())
+        return rows
+
+    def count(self) -> int:
+        """Number of rows."""
+        return sum(part.num_rows for part in self.iter_partitions())
+
+    def num_partitions(self) -> int:
+        return sum(1 for _ in self.iter_partitions())
+
+    def to_columns(self) -> dict:
+        """Materialize the result as {name: full numpy array}."""
+        parts = [p for p in self.iter_partitions() if p.num_rows > 0]
+        if not parts:
+            return {name: np.empty(0) for name in self.columns}
+        whole = Partition.concat(parts)
+        return dict(whole.columns)
+
+    def take(self, n: int) -> list[dict]:
+        return self.limit(n).collect()
+
+    def show(self, n: int = 10) -> str:
+        """Format the first ``n`` rows as an aligned text table."""
+        rows = self.take(n)
+        names = self.columns
+        widths = {
+            name: max(len(name), *(len(_fmt(r[name])) for r in rows))
+            if rows
+            else len(name)
+            for name in names
+        }
+        header = " | ".join(name.ljust(widths[name]) for name in names)
+        sep = "-+-".join("-" * widths[name] for name in names)
+        body = [
+            " | ".join(_fmt(r[name]).ljust(widths[name]) for name in names)
+            for r in rows
+        ]
+        return "\n".join([header, sep, *body])
+
+
+def _fmt(value) -> str:
+    if isinstance(value, (float, np.floating)):
+        return f"{value:.6g}"
+    return str(value)
+
+
+class GroupedDataFrame:
+    """Intermediate handle produced by :meth:`DataFrame.group_by`."""
+
+    def __init__(self, df: DataFrame, keys: list[str]):
+        if not keys:
+            raise ValueError("group_by needs at least one key")
+        self._df = df
+        self._keys = keys
+
+    def agg(self, *specs: AggSpec) -> DataFrame:
+        """Apply aggregate specs (see :mod:`repro.engine.aggregates`)."""
+        if not specs:
+            raise ValueError("agg needs at least one aggregate")
+        return self._df._wrap(
+            P.GroupByAgg(self._df.plan, self._keys, list(specs))
+        )
+
+    def count(self, name: str = "count") -> DataFrame:
+        from repro.engine.aggregates import count as count_spec
+
+        return self.agg(count_spec(name=name))

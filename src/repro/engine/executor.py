@@ -1,0 +1,300 @@
+"""Plan execution: streams partitions through the operator tree.
+
+Narrow operators (project / filter / with_column / map_partitions /
+union / limit) are fully pipelined: one input partition is pulled,
+transformed, yielded, and released before the next is pulled, so the
+working set stays O(partition).  Wide operators hold only their
+*state*: the group hash table for aggregation, the build-side hash
+table for joins, and the full buffer for order_by (documented as a
+materializing operator, as in Spark).
+
+A :class:`~repro.utils.memory.MemoryMeter` passed via ``meter``
+observes exactly these allocations, which is how the Figure 8 bench
+measures the engine's peak working set (and how an artificial memory
+cap can make it fail, for symmetry with the baseline's OOM).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine import plan as P
+from repro.engine.aggregates import _State, partial_aggregate
+from repro.engine.partition import Partition
+
+
+def iter_partitions(node: P.PlanNode, meter=None):
+    """Yield the partitions produced by a plan node."""
+    if isinstance(node, P.Source):
+        yield from _run_source(node, meter)
+    elif isinstance(node, P.Project):
+        for part in iter_partitions(node.child, meter):
+            yield Partition(
+                {name: expr.evaluate(part) for name, expr in node.exprs}
+            )
+    elif isinstance(node, P.Filter):
+        for part in iter_partitions(node.child, meter):
+            keep = np.asarray(node.predicate.evaluate(part), dtype=bool)
+            yield part.mask(keep)
+    elif isinstance(node, P.WithColumn):
+        for part in iter_partitions(node.child, meter):
+            yield part.with_column(node.name, node.expr.evaluate(part))
+    elif isinstance(node, P.Drop):
+        for part in iter_partitions(node.child, meter):
+            yield part.drop(node.names)
+    elif isinstance(node, P.Union):
+        for child in node.inputs:
+            yield from iter_partitions(child, meter)
+    elif isinstance(node, P.Limit):
+        yield from _run_limit(node, meter)
+    elif isinstance(node, P.MapPartitions):
+        for part in iter_partitions(node.child, meter):
+            yield node.fn(part)
+    elif isinstance(node, P.GroupByAgg):
+        yield from _run_group_by(node, meter)
+    elif isinstance(node, P.Join):
+        yield from _run_join(node, meter)
+    elif isinstance(node, P.OrderBy):
+        yield from _run_order_by(node, meter)
+    elif isinstance(node, P.Repartition):
+        yield from _run_repartition(node, meter)
+    elif isinstance(node, P.Cache):
+        yield from _run_cache(node, meter)
+    else:
+        raise TypeError(f"unknown plan node {type(node).__name__}")
+
+
+def _run_cache(node: P.Cache, meter):
+    if node.materialized is None:
+        materialized = []
+        for part in iter_partitions(node.child, meter):
+            if meter is not None:
+                meter.allocate(part.nbytes)  # stays resident (no release)
+            materialized.append(part)
+        node.materialized = materialized
+    yield from node.materialized
+
+
+def _run_source(node: P.Source, meter):
+    for factory in node.partition_factories:
+        part = factory()
+        nbytes = part.nbytes
+        if meter is not None:
+            meter.allocate(nbytes)
+        try:
+            yield part
+        finally:
+            if meter is not None:
+                meter.release(nbytes)
+
+
+def _run_limit(node: P.Limit, meter):
+    remaining = node.n
+    for part in iter_partitions(node.child, meter):
+        if remaining <= 0:
+            return
+        if part.num_rows <= remaining:
+            remaining -= part.num_rows
+            yield part
+        else:
+            yield part.take(remaining)
+            return
+
+
+def _run_group_by(node: P.GroupByAgg, meter):
+    keys = node.keys
+    specs = node.aggs
+    state: dict[tuple, list[_State]] = {}
+    key_dtypes = None
+    state_nbytes = 0
+
+    for part in iter_partitions(node.child, meter):
+        if part.num_rows == 0:
+            if key_dtypes is None and all(k in part.columns for k in keys):
+                key_dtypes = [part.columns[k].dtype for k in keys]
+            continue
+        key_arrays = [part.columns[k] for k in keys]
+        if key_dtypes is None:
+            key_dtypes = [arr.dtype for arr in key_arrays]
+        for spec_index, spec in enumerate(specs):
+            values = (
+                None if spec.column == "*" else part.columns[spec.column]
+            )
+            uniques, partials, counts = partial_aggregate(
+                key_arrays, values, spec.kind
+            )
+            for key, partial, cnt in zip(uniques, partials, counts):
+                slot = state.get(key)
+                if slot is None:
+                    slot = [_State(s.kind) for s in specs]
+                    state[key] = slot
+                slot[spec_index].update(partial, int(cnt))
+        if meter is not None:
+            new_nbytes = _estimate_state_nbytes(state, len(specs))
+            meter.allocate(new_nbytes - state_nbytes)
+            state_nbytes = new_nbytes
+
+    out = _state_to_partition(state, keys, key_dtypes, specs)
+    if meter is not None:
+        meter.release(state_nbytes)
+        meter.allocate(out.nbytes)
+    try:
+        yield out
+    finally:
+        if meter is not None:
+            meter.release(out.nbytes)
+
+
+def _estimate_state_nbytes(state: dict, num_specs: int) -> int:
+    # key tuple (~24B/elem) + accumulator objects (~56B each) + dict slot
+    return len(state) * (64 + 24 * 2 + 56 * num_specs)
+
+
+def _state_to_partition(state, keys, key_dtypes, specs) -> Partition:
+    if not state:
+        cols = {k: np.empty(0) for k in keys}
+        cols.update({s.out_name: np.empty(0) for s in specs})
+        return Partition(cols)
+    key_rows = list(state.keys())
+    columns = {}
+    for i, key_name in enumerate(keys):
+        values = [row[i] for row in key_rows]
+        arr = np.asarray(values)
+        if key_dtypes is not None and key_dtypes[i].kind in "iu":
+            arr = arr.astype(np.int64)
+        columns[key_name] = arr
+    for spec_index, spec in enumerate(specs):
+        columns[spec.out_name] = np.asarray(
+            [state[row][spec_index].result() for row in key_rows]
+        )
+    return Partition(columns)
+
+
+def _run_join(node: P.Join, meter):
+    # Build side: fully materialize the right input (broadcast join).
+    right_parts = list(iter_partitions(node.right, meter))
+    right_parts = [p for p in right_parts if p.num_rows > 0]
+    build_nbytes = sum(p.nbytes for p in right_parts)
+    if meter is not None:
+        meter.allocate(build_nbytes)
+    try:
+        if right_parts:
+            right = Partition.concat(right_parts)
+        else:
+            right = None
+        table: dict = {}
+        if right is not None:
+            key_cols = [right.columns[k] for k in node.on]
+            for i in range(right.num_rows):
+                key = tuple(c[i] for c in key_cols)
+                table.setdefault(key, []).append(i)
+        right_value_names = (
+            [n for n in right.columns if n not in node.on] if right is not None else []
+        )
+
+        for part in iter_partitions(node.left, meter):
+            if part.num_rows == 0:
+                continue
+            left_keys = [part.columns[k] for k in node.on]
+            left_idx: list[int] = []
+            right_idx: list[int] = []
+            unmatched: list[int] = []
+            for i in range(part.num_rows):
+                key = tuple(c[i] for c in left_keys)
+                matches = table.get(key)
+                if matches:
+                    left_idx.extend([i] * len(matches))
+                    right_idx.extend(matches)
+                elif node.how == "left":
+                    unmatched.append(i)
+            columns = {}
+            li = np.asarray(left_idx, dtype=np.int64)
+            for name, arr in part.columns.items():
+                columns[name] = arr[li]
+            ri = np.asarray(right_idx, dtype=np.int64)
+            for name in right_value_names:
+                columns[name] = right.columns[name][ri]
+            matched_part = Partition(columns)
+            if node.how == "left" and unmatched:
+                ui = np.asarray(unmatched, dtype=np.int64)
+                null_cols = {
+                    name: arr[ui] for name, arr in part.columns.items()
+                }
+                for name in right_value_names:
+                    null_cols[name] = np.full(len(ui), np.nan)
+                matched_part = Partition.concat(
+                    [matched_part, Partition(null_cols)]
+                )
+            yield matched_part
+    finally:
+        if meter is not None:
+            meter.release(build_nbytes)
+
+
+def _run_order_by(node: P.OrderBy, meter):
+    parts = [p for p in iter_partitions(node.child, meter) if p.num_rows > 0]
+    if not parts:
+        return
+    whole = Partition.concat(parts)
+    if meter is not None:
+        meter.allocate(whole.nbytes)
+    try:
+        key_arrays = [whole.columns[k] for k in reversed(node.keys)]
+        order = np.lexsort(key_arrays)
+        if not node.ascending:
+            order = order[::-1]
+        yield Partition(
+            {name: arr[order] for name, arr in whole.columns.items()}
+        )
+    finally:
+        if meter is not None:
+            meter.release(whole.nbytes)
+
+
+def _run_repartition(node: P.Repartition, meter):
+    parts = [p for p in iter_partitions(node.child, meter) if p.num_rows > 0]
+    if not parts:
+        return
+    whole = Partition.concat(parts)
+    n = whole.num_rows
+    k = max(1, int(node.num_partitions))
+    bounds = np.linspace(0, n, k + 1).astype(int)
+    for start, stop in zip(bounds[:-1], bounds[1:]):
+        if stop > start:
+            yield Partition(
+                {
+                    name: arr[start:stop]
+                    for name, arr in whole.columns.items()
+                }
+            )
+
+
+def plan_column_names(node: P.PlanNode) -> list[str]:
+    """Statically derive output column names of a plan."""
+    if isinstance(node, P.Source):
+        return list(node.schema.names)
+    if isinstance(node, P.Project):
+        return [name for name, _ in node.exprs]
+    if isinstance(node, (P.Filter, P.Limit, P.OrderBy, P.Repartition)):
+        return plan_column_names(node.children[0])
+    if isinstance(node, P.WithColumn):
+        base = plan_column_names(node.child)
+        return base + ([node.name] if node.name not in base else [])
+    if isinstance(node, P.Drop):
+        dropped = set(node.names)
+        return [n for n in plan_column_names(node.child) if n not in dropped]
+    if isinstance(node, P.Union):
+        return plan_column_names(node.inputs[0])
+    if isinstance(node, P.GroupByAgg):
+        return list(node.keys) + [a.out_name for a in node.aggs]
+    if isinstance(node, P.Join):
+        left = plan_column_names(node.left)
+        right = [
+            n for n in plan_column_names(node.right) if n not in node.on
+        ]
+        return left + right
+    if isinstance(node, P.MapPartitions):
+        return plan_column_names(node.child)  # best effort
+    if isinstance(node, P.Cache):
+        return plan_column_names(node.child)
+    raise TypeError(f"unknown plan node {type(node).__name__}")

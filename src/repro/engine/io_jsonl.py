@@ -1,0 +1,128 @@
+"""Partitioned JSON-lines scan and write.
+
+Complements the CSV reader for the "reading and writing various
+non-spatial datasets" role of the preprocessing module: one JSON
+object per line, schema inferred from a sample, lazily parsed per
+row-range partition.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+
+import numpy as np
+
+from repro.engine.partition import Partition
+from repro.engine.plan import Source
+from repro.engine.schema import Field, Schema
+
+
+def infer_jsonl_schema(path: str, sample_rows: int = 100) -> Schema:
+    """Infer a schema from the union of keys in leading rows."""
+    fields: dict[str, np.dtype] = {}
+    with open(path) as handle:
+        for line in itertools.islice(handle, sample_rows):
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            for key, value in record.items():
+                dtype = _dtype_of(value)
+                if key not in fields:
+                    fields[key] = dtype
+                elif fields[key] != dtype:
+                    fields[key] = _promote(fields[key], dtype)
+    if not fields:
+        raise ValueError(f"no records found in {path}")
+    return Schema([Field(name, dtype) for name, dtype in fields.items()])
+
+
+def _dtype_of(value) -> np.dtype:
+    if isinstance(value, bool):
+        return np.dtype(bool)
+    if isinstance(value, int):
+        return np.dtype(np.int64)
+    if isinstance(value, float):
+        return np.dtype(np.float64)
+    return np.dtype(object)
+
+
+def _promote(a: np.dtype, b: np.dtype) -> np.dtype:
+    if {a.kind, b.kind} == {"i", "f"}:
+        return np.dtype(np.float64)
+    return np.dtype(object)
+
+
+def jsonl_partition_factories(
+    path: str, schema: Schema, rows_per_partition: int = 100_000
+) -> list:
+    """Deferred readers, one per line-range of the file."""
+    with open(path, "rb") as handle:
+        total = sum(1 for _ in handle)
+    factories = []
+    for start in range(0, max(total, 1), rows_per_partition):
+        stop = min(start + rows_per_partition, total)
+        factories.append(
+            lambda s=start, e=stop: _read_range(path, schema, s, e)
+        )
+    return factories
+
+
+def _read_range(path: str, schema: Schema, start: int, stop: int) -> Partition:
+    records = []
+    with open(path) as handle:
+        for line in itertools.islice(handle, start, stop):
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    columns = {}
+    for field in schema.fields:
+        raw = [record.get(field.name) for record in records]
+        if field.dtype.kind in "if" and all(v is not None for v in raw):
+            columns[field.name] = np.asarray(raw, dtype=field.dtype)
+        else:
+            arr = np.empty(len(raw), dtype=object)
+            arr[:] = raw
+            columns[field.name] = arr
+    if not columns:
+        return Partition.empty(schema)
+    return Partition(columns)
+
+
+def read_jsonl(
+    session, path: str, schema: Schema | None = None,
+    rows_per_partition: int = 100_000,
+):
+    """Scan a JSON-lines file as a partitioned DataFrame."""
+    from repro.engine.dataframe import DataFrame
+
+    if schema is None:
+        schema = infer_jsonl_schema(path)
+    factories = jsonl_partition_factories(path, schema, rows_per_partition)
+    return DataFrame(session, Source(factories, schema))
+
+
+def write_jsonl(df, path: str) -> int:
+    """Write a DataFrame as JSON lines, streaming; returns row count."""
+    count = 0
+    with open(path, "w") as handle:
+        for part in df.iter_partitions():
+            for row in part.rows():
+                handle.write(json.dumps(_jsonable(row)) + "\n")
+                count += 1
+    return count
+
+
+def _jsonable(row: dict) -> dict:
+    out = {}
+    for key, value in row.items():
+        if isinstance(value, np.integer):
+            out[key] = int(value)
+        elif isinstance(value, np.floating):
+            out[key] = float(value)
+        elif isinstance(value, np.bool_):
+            out[key] = bool(value)
+        else:
+            out[key] = value
+    return out

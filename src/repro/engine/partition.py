@@ -1,0 +1,124 @@
+"""Columnar partitions: the unit of parallelism and memory accounting."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine.schema import Field, Schema
+
+
+class Partition:
+    """A horizontal slice of a DataFrame stored column-wise.
+
+    Columns are numpy arrays of equal length (``object`` dtype for
+    strings / geometries).  All operators act on whole columns, so the
+    per-row interpreter overhead stays out of the hot path.
+    """
+
+    __slots__ = ("columns", "num_rows")
+
+    def __init__(self, columns: dict):
+        lengths = {len(v) for v in columns.values()}
+        if len(lengths) > 1:
+            raise ValueError(f"column lengths differ: {lengths}")
+        self.columns = {
+            name: np.asarray(values) for name, values in columns.items()
+        }
+        self.num_rows = lengths.pop() if lengths else 0
+
+    @classmethod
+    def from_rows(cls, rows, names) -> "Partition":
+        """Build from an iterable of tuples/dicts."""
+        rows = list(rows)
+        if rows and isinstance(rows[0], dict):
+            cols = {name: [r[name] for r in rows] for name in names}
+        else:
+            cols = {
+                name: [r[i] for r in rows] for i, name in enumerate(names)
+            }
+        return cls({name: _best_array(values) for name, values in cols.items()})
+
+    @classmethod
+    def empty(cls, schema: Schema) -> "Partition":
+        return cls(
+            {f.name: np.empty(0, dtype=f.dtype) for f in schema.fields}
+        )
+
+    @property
+    def nbytes(self) -> int:
+        """Approximate bytes held by this partition."""
+        total = 0
+        for arr in self.columns.values():
+            if arr.dtype == object:
+                total += arr.size * 56  # rough per-object estimate
+            else:
+                total += arr.nbytes
+        return total
+
+    def schema(self) -> Schema:
+        return Schema(
+            [Field(name, arr.dtype) for name, arr in self.columns.items()]
+        )
+
+    def select(self, names) -> "Partition":
+        return Partition({name: self.columns[name] for name in names})
+
+    def mask(self, keep: np.ndarray) -> "Partition":
+        return Partition(
+            {name: arr[keep] for name, arr in self.columns.items()}
+        )
+
+    def with_column(self, name: str, values: np.ndarray) -> "Partition":
+        cols = dict(self.columns)
+        cols[name] = values
+        return Partition(cols)
+
+    def drop(self, names) -> "Partition":
+        names = set(names)
+        return Partition(
+            {n: a for n, a in self.columns.items() if n not in names}
+        )
+
+    def rows(self):
+        """Iterate rows as dicts (slow path: display, tests)."""
+        names = list(self.columns)
+        arrays = [self.columns[n] for n in names]
+        for i in range(self.num_rows):
+            yield {name: arr[i] for name, arr in zip(names, arrays)}
+
+    def take(self, n: int) -> "Partition":
+        return Partition(
+            {name: arr[:n] for name, arr in self.columns.items()}
+        )
+
+    @staticmethod
+    def concat(partitions) -> "Partition":
+        partitions = [p for p in partitions if p.num_rows > 0]
+        if not partitions:
+            raise ValueError("cannot concat zero non-empty partitions")
+        names = list(partitions[0].columns)
+        return Partition(
+            {
+                name: np.concatenate([p.columns[name] for p in partitions])
+                for name in names
+            }
+        )
+
+
+def _best_array(values: list) -> np.ndarray:
+    """Coerce a python list to the tightest reasonable numpy array."""
+    try:
+        arr = np.asarray(values)
+    except (ValueError, TypeError):
+        arr = np.empty(len(values), dtype=object)
+        arr[:] = values
+        return arr
+    if arr.dtype.kind in "OUS":
+        out = np.empty(len(values), dtype=object)
+        out[:] = values
+        return out
+    if arr.ndim != 1:
+        out = np.empty(len(values), dtype=object)
+        out[:] = values
+        return out
+    return arr

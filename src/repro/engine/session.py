@@ -1,0 +1,120 @@
+"""The engine entry point (SparkSession analogue)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine import plan as P
+from repro.engine.dataframe import DataFrame
+from repro.engine.io_csv import csv_partition_factories, infer_csv_schema
+from repro.engine.partition import Partition
+from repro.engine.schema import Field, Schema
+from repro.utils.memory import MemoryMeter
+from repro.utils.validation import check_positive
+
+
+class Session:
+    """Creates DataFrames and owns execution configuration.
+
+    Parameters
+    ----------
+    default_parallelism:
+        How many partitions ``create_dataframe`` splits local data into.
+    meter:
+        Optional :class:`MemoryMeter` observing the engine working set
+        (used by the Figure 8 bench).
+    """
+
+    def __init__(self, default_parallelism: int = 4, meter: MemoryMeter | None = None):
+        check_positive(default_parallelism, "default_parallelism")
+        self.default_parallelism = default_parallelism
+        self.meter = meter
+
+    # ------------------------------------------------------------------
+    # DataFrame creation
+    # ------------------------------------------------------------------
+    def create_dataframe(self, data, columns=None, num_partitions=None) -> DataFrame:
+        """Create a DataFrame from local data.
+
+        ``data`` may be a dict of equal-length arrays/lists, or a list
+        of tuples (requires ``columns``) or dicts.
+        """
+        n_parts = num_partitions or self.default_parallelism
+        if isinstance(data, dict):
+            names = list(data)
+            arrays = {k: np.asarray(v) for k, v in data.items()}
+            total = len(next(iter(arrays.values()))) if arrays else 0
+        else:
+            data = list(data)
+            if not data:
+                raise ValueError("cannot infer schema from empty data")
+            if isinstance(data[0], dict):
+                names = columns or list(data[0])
+            else:
+                if columns is None:
+                    raise ValueError("tuple rows need explicit columns")
+                names = list(columns)
+            whole = Partition.from_rows(data, names)
+            arrays = whole.columns
+            total = whole.num_rows
+
+        bounds = np.linspace(0, total, n_parts + 1).astype(int)
+        factories = []
+        for start, stop in zip(bounds[:-1], bounds[1:]):
+            if stop <= start:
+                continue
+            chunk = {
+                name: arr[start:stop] for name, arr in arrays.items()
+            }
+            factories.append(lambda c=chunk: Partition(c))
+        schema = Schema(
+            [Field(name, arrays[name].dtype) for name in names]
+        )
+        if not factories:
+            factories = [lambda s=schema: Partition.empty(s)]
+        return DataFrame(self, P.Source(factories, schema))
+
+    def from_partitions(self, factories, schema: Schema) -> DataFrame:
+        """Create a DataFrame from deferred partition factories (the
+        out-of-core path: partitions are built only during execution)."""
+        return DataFrame(self, P.Source(list(factories), schema))
+
+    def read_csv(
+        self,
+        path: str,
+        schema: Schema | None = None,
+        rows_per_partition: int = 100_000,
+        header: bool = True,
+    ) -> DataFrame:
+        """Scan a CSV file as a partitioned DataFrame.
+
+        The file is split into row ranges; each partition parses its
+        range lazily during execution, so the whole file is never
+        resident at once.
+        """
+        if schema is None:
+            schema = infer_csv_schema(path, header=header)
+        factories = csv_partition_factories(
+            path, schema, rows_per_partition=rows_per_partition, header=header
+        )
+        return DataFrame(self, P.Source(factories, schema))
+
+    def read_jsonl(
+        self,
+        path: str,
+        schema: Schema | None = None,
+        rows_per_partition: int = 100_000,
+    ) -> DataFrame:
+        """Scan a JSON-lines file as a partitioned DataFrame."""
+        from repro.engine.io_jsonl import read_jsonl
+
+        return read_jsonl(
+            self, path, schema=schema, rows_per_partition=rows_per_partition
+        )
+
+    def range(self, n: int, num_partitions=None) -> DataFrame:
+        """A DataFrame with a single int column ``id`` of 0..n-1."""
+        return self.create_dataframe(
+            {"id": np.arange(int(n), dtype=np.int64)},
+            num_partitions=num_partitions,
+        )

@@ -1,0 +1,12 @@
+"""Experiment runners behind the benchmark harness.
+
+One module per paper artifact family; each exposes a ``run_*`` function
+returning plain dict/list results that the ``benchmarks/`` files format
+into the paper's tables and figures.  Scale knobs default to sizes that
+fit a single CPU core and are overridable (see
+:class:`repro.experiments.config.ExperimentConfig`).
+"""
+
+from repro.experiments.config import ExperimentConfig, DEFAULT_CONFIG
+
+__all__ = ["ExperimentConfig", "DEFAULT_CONFIG"]

@@ -1,0 +1,55 @@
+"""Experiment scale configuration.
+
+The paper's experiments ran on a 120 GB / GPU workstation over months
+of real data; this reproduction runs on one CPU core.  Every knob that
+shrinks an experiment lives here, with environment-variable overrides
+so `pytest benchmarks/` can be scaled up on bigger machines:
+
+- ``REPRO_SEEDS``        — training repetitions per cell (paper: 5)
+- ``REPRO_GRID_STEPS``   — timesteps per grid dataset
+- ``REPRO_NUM_IMAGES``   — images per raster dataset
+- ``REPRO_MAX_EPOCHS``   — epoch cap per training run
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+
+def _env_int(name: str, default: int) -> int:
+    value = os.environ.get(name)
+    return int(value) if value else default
+
+
+@dataclass
+class ExperimentConfig:
+    """Scale knobs shared by all benches."""
+
+    seeds: int = field(default_factory=lambda: _env_int("REPRO_SEEDS", 2))
+    grid_steps: int = field(
+        default_factory=lambda: _env_int("REPRO_GRID_STEPS", 1000)
+    )
+    num_images: int = field(
+        default_factory=lambda: _env_int("REPRO_NUM_IMAGES", 300)
+    )
+    num_seg_images: int = field(
+        default_factory=lambda: _env_int("REPRO_NUM_SEG_IMAGES", 80)
+    )
+    max_epochs: int = field(
+        default_factory=lambda: _env_int("REPRO_MAX_EPOCHS", 25)
+    )
+    batch_size: int = 16
+    patience: int = 6
+    # Periodical representation lengths used across grid experiments.
+    len_closeness: int = 3
+    len_period: int = 2
+    len_trend: int = 1
+    history_length: int = 6
+    # Weather experiments use a scaled grid (paper: 32x64).
+    weather_grid: tuple = (12, 24)
+    seg_image_shape: tuple = (32, 32)
+    cls_image_shape: tuple = (32, 32)
+
+
+DEFAULT_CONFIG = ExperimentConfig()

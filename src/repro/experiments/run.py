@@ -1,0 +1,180 @@
+"""Command-line entry point for regenerating paper artifacts.
+
+Usage::
+
+    python -m repro.experiments.run fig8
+    python -m repro.experiments.run table4 --data-root /tmp/data
+    python -m repro.experiments.run all
+
+Each artifact prints the same table its benchmark prints; the benches
+in ``benchmarks/`` add assertions on top of these runners.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+
+from repro.experiments.config import ExperimentConfig
+
+ARTIFACTS = (
+    "fig8",
+    "table4",
+    "table5",
+    "table6",
+    "table7",
+    "fig9",
+    "table8",
+)
+
+
+def run_fig8(args, config) -> str:
+    from repro.experiments.fig8 import format_figure8, run_figure8
+
+    return format_figure8(run_figure8())
+
+
+def run_table4(args, config) -> str:
+    from repro.core.datasets.grid import BikeNYCDeepSTN, TaxiBJ21
+    from repro.experiments.grid_forecasting import format_table, run_matrix
+
+    factories = {
+        "BikeNYC-DeepSTN": lambda: BikeNYCDeepSTN(
+            args.data_root, num_steps=config.grid_steps
+        ),
+        "TaxiBJ21": lambda: TaxiBJ21(
+            args.data_root, num_steps=config.grid_steps, grid_shape=(16, 16)
+        ),
+    }
+    rows = run_matrix(factories, config)
+    return format_table(rows, "Table IV: Traffic Prediction (MAE / RMSE)")
+
+
+def run_table5(args, config) -> str:
+    from repro.core.datasets.grid import (
+        Temperature,
+        TotalCloudCover,
+        TotalPrecipitation,
+    )
+    from repro.experiments.grid_forecasting import format_table, run_matrix
+
+    factories = {
+        name: (
+            lambda cls=cls: cls(
+                args.data_root,
+                num_steps=config.grid_steps,
+                grid_shape=config.weather_grid,
+            )
+        )
+        for name, cls in (
+            ("Temperature", Temperature),
+            ("TotalPrecipitation", TotalPrecipitation),
+            ("TotalCloudCover", TotalCloudCover),
+        )
+    }
+    rows = run_matrix(factories, config)
+    return format_table(rows, "Table V: Weather Forecasting (MAE / RMSE)")
+
+
+def run_table6(args, config) -> str:
+    from repro.experiments.raster_tasks import (
+        aggregate_accuracy,
+        format_accuracy_table,
+        run_classification,
+        run_segmentation,
+    )
+
+    rows = []
+    for model in ("DeepSAT V2", "SatCNN"):
+        for dataset in ("EuroSAT", "SAT6"):
+            cells = [
+                run_classification(dataset, model, args.data_root, config, seed=s)
+                for s in range(config.seeds)
+            ]
+            rows.append(aggregate_accuracy(cells))
+    for model in ("UNet", "FCN", "UNet++"):
+        cells = [
+            run_segmentation(model, args.data_root, config, seed=s)
+            for s in range(config.seeds)
+        ]
+        rows.append(aggregate_accuracy(cells))
+    return format_accuracy_table(rows)
+
+
+def run_table7(args, config) -> str:
+    from repro.experiments.epoch_time import format_table7, run_table7
+
+    return format_table7(run_table7(args.data_root, config))
+
+
+def run_fig9(args, config) -> str:
+    from repro.experiments.fig9 import (
+        format_figure9,
+        run_band_sweep,
+        run_grid_sweep,
+    )
+
+    return format_figure9(run_band_sweep() + run_grid_sweep())
+
+
+def run_table8(args, config) -> str:
+    from repro.experiments.pretransform import (
+        format_table8,
+        run_pretransform_experiment,
+    )
+
+    with tempfile.TemporaryDirectory() as workdir:
+        rows = [
+            run_pretransform_experiment(count, workdir)
+            for count in (1, 2, 3, 4, 5)
+        ]
+    return format_table8(rows)
+
+
+_RUNNERS = {
+    "fig8": run_fig8,
+    "table4": run_table4,
+    "table5": run_table5,
+    "table6": run_table6,
+    "table7": run_table7,
+    "fig9": run_fig9,
+    "table8": run_table8,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.run",
+        description="Regenerate a paper table/figure.",
+    )
+    parser.add_argument(
+        "artifact",
+        choices=ARTIFACTS + ("all",),
+        help="which paper artifact to regenerate",
+    )
+    parser.add_argument(
+        "--data-root",
+        default="data",
+        help="dataset cache directory (default: ./data)",
+    )
+    parser.add_argument(
+        "--seeds", type=int, default=None, help="training seeds per cell"
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    config = ExperimentConfig()
+    if args.seeds is not None:
+        config.seeds = args.seeds
+    names = ARTIFACTS if args.artifact == "all" else (args.artifact,)
+    for name in names:
+        print(_RUNNERS[name](args, config))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

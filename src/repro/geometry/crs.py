@@ -1,0 +1,70 @@
+"""Coordinate reference system helpers.
+
+The paper's ``load_geotiff_image`` exposes optional parameters to
+control the CRS of loaded rasters.  This module provides the two
+projections the reproduction needs: geographic lon/lat (EPSG:4326) and
+a local equirectangular meters projection around a reference latitude
+— sufficient for converting trip coordinates to planar meters when
+cell sizes must be metric.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.geometry.envelope import Envelope
+from repro.geometry.point import Point
+
+EARTH_RADIUS_M = 6_371_008.8
+
+
+@dataclass(frozen=True)
+class EquirectangularCRS:
+    """Planar meters approximation around a reference latitude.
+
+    x = R * lon_rad * cos(lat0), y = R * lat_rad.  Accurate to ~0.1%
+    over city-scale extents, which is all the preprocessing needs.
+    """
+
+    reference_latitude: float
+
+    @property
+    def _cos_lat0(self) -> float:
+        return math.cos(math.radians(self.reference_latitude))
+
+    def to_meters(self, lon: float, lat: float) -> tuple[float, float]:
+        """Geographic degrees -> planar meters."""
+        x = EARTH_RADIUS_M * math.radians(lon) * self._cos_lat0
+        y = EARTH_RADIUS_M * math.radians(lat)
+        return x, y
+
+    def to_degrees(self, x: float, y: float) -> tuple[float, float]:
+        """Planar meters -> geographic degrees."""
+        lon = math.degrees(x / (EARTH_RADIUS_M * self._cos_lat0))
+        lat = math.degrees(y / EARTH_RADIUS_M)
+        return lon, lat
+
+    def project_point(self, point: Point) -> Point:
+        return Point(*self.to_meters(point.x, point.y))
+
+    def unproject_point(self, point: Point) -> Point:
+        return Point(*self.to_degrees(point.x, point.y))
+
+    def project_envelope(self, env: Envelope) -> Envelope:
+        x0, y0 = self.to_meters(env.min_x, env.min_y)
+        x1, y1 = self.to_meters(env.max_x, env.max_y)
+        return Envelope(x0, x1, y0, y1)
+
+
+def haversine_distance_m(a: Point, b: Point) -> float:
+    """Great-circle distance in meters between two lon/lat points."""
+    lon1, lat1 = math.radians(a.x), math.radians(a.y)
+    lon2, lat2 = math.radians(b.x), math.radians(b.y)
+    dlat = lat2 - lat1
+    dlon = lon2 - lon1
+    h = (
+        math.sin(dlat / 2) ** 2
+        + math.cos(lat1) * math.cos(lat2) * math.sin(dlon / 2) ** 2
+    )
+    return 2 * EARTH_RADIUS_M * math.asin(min(1.0, math.sqrt(h)))

@@ -1,0 +1,89 @@
+"""Axis-aligned bounding boxes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geometry.point import Point
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """An axis-aligned rectangle [min_x, max_x] x [min_y, max_y]."""
+
+    min_x: float
+    max_x: float
+    min_y: float
+    max_y: float
+
+    def __post_init__(self):
+        if self.min_x > self.max_x or self.min_y > self.max_y:
+            raise ValueError(
+                f"degenerate envelope: ({self.min_x}, {self.max_x}, "
+                f"{self.min_y}, {self.max_y})"
+            )
+
+    @classmethod
+    def of_points(cls, points) -> "Envelope":
+        """Smallest envelope covering an iterable of points."""
+        xs = [p.x for p in points]
+        ys = [p.y for p in points]
+        if not xs:
+            raise ValueError("cannot build an envelope from zero points")
+        return cls(min(xs), max(xs), min(ys), max(ys))
+
+    @property
+    def width(self) -> float:
+        return self.max_x - self.min_x
+
+    @property
+    def height(self) -> float:
+        return self.max_y - self.min_y
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def center(self) -> Point:
+        return Point((self.min_x + self.max_x) / 2, (self.min_y + self.max_y) / 2)
+
+    def contains_point(self, point: Point) -> bool:
+        """Closed-interval containment test."""
+        return (
+            self.min_x <= point.x <= self.max_x
+            and self.min_y <= point.y <= self.max_y
+        )
+
+    def contains_envelope(self, other: "Envelope") -> bool:
+        return (
+            self.min_x <= other.min_x
+            and other.max_x <= self.max_x
+            and self.min_y <= other.min_y
+            and other.max_y <= self.max_y
+        )
+
+    def intersects(self, other: "Envelope") -> bool:
+        return not (
+            other.min_x > self.max_x
+            or other.max_x < self.min_x
+            or other.min_y > self.max_y
+            or other.max_y < self.min_y
+        )
+
+    def expand(self, margin: float) -> "Envelope":
+        """Return a copy grown by ``margin`` on every side."""
+        return Envelope(
+            self.min_x - margin,
+            self.max_x + margin,
+            self.min_y - margin,
+            self.max_y + margin,
+        )
+
+    def union(self, other: "Envelope") -> "Envelope":
+        return Envelope(
+            min(self.min_x, other.min_x),
+            max(self.max_x, other.max_x),
+            min(self.min_y, other.min_y),
+            max(self.max_y, other.max_y),
+        )

@@ -1,0 +1,6 @@
+"""Spatial indexes used by the spatial join."""
+
+from repro.geometry.index.strtree import STRTree
+from repro.geometry.index.gridindex import GridIndex
+
+__all__ = ["STRTree", "GridIndex"]

@@ -1,0 +1,60 @@
+"""Uniform-grid spatial hash index.
+
+Sedona's grid partitioner assigns geometries to fixed cells; queries
+look up only the cells a query envelope overlaps.  Best for
+near-uniform point data — exactly the trip-record workloads in the
+paper.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+
+from repro.geometry.envelope import Envelope
+from repro.geometry.point import Point
+
+
+class GridIndex:
+    """Spatial hash over a fixed cell size."""
+
+    def __init__(self, cell_size: float):
+        if cell_size <= 0:
+            raise ValueError("cell_size must be positive")
+        self.cell_size = float(cell_size)
+        self._cells: dict = defaultdict(list)
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def _key(self, x: float, y: float) -> tuple[int, int]:
+        return (math.floor(x / self.cell_size), math.floor(y / self.cell_size))
+
+    def insert_point(self, point: Point, payload) -> None:
+        self._cells[self._key(point.x, point.y)].append((point, payload))
+        self._size += 1
+
+    def query_envelope(self, envelope: Envelope):
+        """Yield payloads of points inside the envelope."""
+        kx0, ky0 = self._key(envelope.min_x, envelope.min_y)
+        kx1, ky1 = self._key(envelope.max_x, envelope.max_y)
+        for kx in range(kx0, kx1 + 1):
+            for ky in range(ky0, ky1 + 1):
+                for point, payload in self._cells.get((kx, ky), ()):
+                    if envelope.contains_point(point):
+                        yield payload
+
+    def query_radius(self, center: Point, radius: float):
+        """Yield payloads of points within ``radius`` of ``center``."""
+        env = Envelope(
+            center.x - radius, center.x + radius,
+            center.y - radius, center.y + radius,
+        )
+        kx0, ky0 = self._key(env.min_x, env.min_y)
+        kx1, ky1 = self._key(env.max_x, env.max_y)
+        for kx in range(kx0, kx1 + 1):
+            for ky in range(ky0, ky1 + 1):
+                for point, payload in self._cells.get((kx, ky), ()):
+                    if point.distance(center) <= radius:
+                        yield payload

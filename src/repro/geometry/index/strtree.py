@@ -1,0 +1,105 @@
+"""Sort-Tile-Recursive (STR) packed R-tree.
+
+The classic bulk-loaded R-tree used by Sedona/JTS for local per-
+partition indexes in spatial joins.  Built once over a static set of
+envelopes; supports envelope-overlap queries.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.geometry.envelope import Envelope
+
+
+class _Node:
+    __slots__ = ("envelope", "children", "items")
+
+    def __init__(self, envelope, children=None, items=None):
+        self.envelope = envelope
+        self.children = children or []
+        self.items = items or []
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+
+class STRTree:
+    """Bulk-loaded R-tree over (envelope, payload) pairs."""
+
+    def __init__(self, entries, node_capacity: int = 8):
+        """``entries`` is an iterable of (Envelope, payload)."""
+        if node_capacity < 2:
+            raise ValueError("node_capacity must be >= 2")
+        self.node_capacity = node_capacity
+        entries = list(entries)
+        self._size = len(entries)
+        self._root = self._build(entries) if entries else None
+
+    def __len__(self) -> int:
+        return self._size
+
+    def _build(self, entries) -> _Node:
+        cap = self.node_capacity
+        leaves = self._pack(
+            entries,
+            key_x=lambda e: e[0].center.x,
+            key_y=lambda e: e[0].center.y,
+            make=lambda group: _Node(
+                self._union_env([env for env, _ in group]), items=group
+            ),
+        )
+        level = leaves
+        while len(level) > 1:
+            level = self._pack(
+                level,
+                key_x=lambda n: n.envelope.center.x,
+                key_y=lambda n: n.envelope.center.y,
+                make=lambda group: _Node(
+                    self._union_env([n.envelope for n in group]), children=group
+                ),
+            )
+        return level[0]
+
+    def _pack(self, items, key_x, key_y, make):
+        cap = self.node_capacity
+        n = len(items)
+        num_nodes = math.ceil(n / cap)
+        num_slices = math.ceil(math.sqrt(num_nodes))
+        items = sorted(items, key=key_x)
+        slice_size = math.ceil(n / num_slices)
+        nodes = []
+        for s in range(0, n, slice_size):
+            vertical = sorted(items[s : s + slice_size], key=key_y)
+            for g in range(0, len(vertical), cap):
+                nodes.append(make(vertical[g : g + cap]))
+        return nodes
+
+    @staticmethod
+    def _union_env(envs) -> Envelope:
+        out = envs[0]
+        for env in envs[1:]:
+            out = out.union(env)
+        return out
+
+    def query(self, envelope: Envelope):
+        """Yield payloads whose envelopes intersect the query envelope."""
+        if self._root is None:
+            return
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if not node.envelope.intersects(envelope):
+                continue
+            if node.is_leaf:
+                for env, payload in node.items:
+                    if env.intersects(envelope):
+                        yield payload
+            else:
+                stack.extend(node.children)
+
+    def query_point(self, point):
+        """Yield payloads whose envelopes contain the point."""
+        env = Envelope(point.x, point.x, point.y, point.y)
+        yield from self.query(env)

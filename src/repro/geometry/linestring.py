@@ -1,0 +1,30 @@
+"""Polyline geometry."""
+
+from __future__ import annotations
+
+from repro.geometry.envelope import Envelope
+from repro.geometry.point import Point
+
+
+class LineString:
+    """An ordered sequence of points forming a polyline."""
+
+    def __init__(self, vertices):
+        verts = [v if isinstance(v, Point) else Point(*v) for v in vertices]
+        if len(verts) < 2:
+            raise ValueError("a linestring needs at least 2 points")
+        self.vertices = verts
+        self._envelope = Envelope.of_points(verts)
+
+    @property
+    def envelope(self) -> Envelope:
+        return self._envelope
+
+    @property
+    def length(self) -> float:
+        return sum(
+            a.distance(b) for a, b in zip(self.vertices, self.vertices[1:])
+        )
+
+    def __repr__(self):
+        return f"LineString({len(self.vertices)} vertices)"

@@ -1,0 +1,74 @@
+"""Simple polygon geometry with ray-casting containment."""
+
+from __future__ import annotations
+
+from repro.geometry.envelope import Envelope
+from repro.geometry.point import Point
+
+
+class Polygon:
+    """A simple (non-self-intersecting) polygon given by its exterior
+    ring.  The ring may be open (it is treated as implicitly closed)."""
+
+    def __init__(self, vertices):
+        verts = [v if isinstance(v, Point) else Point(*v) for v in vertices]
+        if len(verts) >= 2 and verts[0] == verts[-1]:
+            verts = verts[:-1]
+        if len(verts) < 3:
+            raise ValueError("a polygon needs at least 3 distinct vertices")
+        self.vertices = verts
+        self._envelope = Envelope.of_points(verts)
+
+    @property
+    def envelope(self) -> Envelope:
+        return self._envelope
+
+    @property
+    def area(self) -> float:
+        """Unsigned shoelace area."""
+        total = 0.0
+        verts = self.vertices
+        for i, a in enumerate(verts):
+            b = verts[(i + 1) % len(verts)]
+            total += a.x * b.y - b.x * a.y
+        return abs(total) / 2.0
+
+    def contains_point(self, point: Point) -> bool:
+        """Ray-casting point-in-polygon (boundary counts as inside for
+        vertices on horizontal edges; adequate for aggregation use)."""
+        if not self._envelope.contains_point(point):
+            return False
+        inside = False
+        verts = self.vertices
+        j = len(verts) - 1
+        for i in range(len(verts)):
+            vi, vj = verts[i], verts[j]
+            crosses = (vi.y > point.y) != (vj.y > point.y)
+            if crosses:
+                x_at = vj.x + (point.y - vj.y) / (vi.y - vj.y) * (vi.x - vj.x)
+                if point.x < x_at:
+                    inside = not inside
+            j = i
+        return inside
+
+    def intersects_envelope(self, env: Envelope) -> bool:
+        """Conservative test: envelope overlap plus corner/vertex checks."""
+        if not self._envelope.intersects(env):
+            return False
+        corners = [
+            Point(env.min_x, env.min_y),
+            Point(env.min_x, env.max_y),
+            Point(env.max_x, env.min_y),
+            Point(env.max_x, env.max_y),
+        ]
+        if any(self.contains_point(c) for c in corners):
+            return True
+        if any(env.contains_point(v) for v in self.vertices):
+            return True
+        # Envelope fully inside polygon with no vertex containment is
+        # covered by corner checks; remaining rare edge-crossing cases
+        # are treated as intersecting (conservative).
+        return True
+
+    def __repr__(self):
+        return f"Polygon({len(self.vertices)} vertices)"

@@ -1,0 +1,54 @@
+"""Module containers."""
+
+from __future__ import annotations
+
+from repro.nn.module import Module
+
+
+class Sequential(Module):
+    """Chain modules; the output of each feeds the next."""
+
+    def __init__(self, *layers):
+        super().__init__()
+        self._layers = []
+        for index, layer in enumerate(layers):
+            setattr(self, str(index), layer)
+            self._layers.append(layer)
+
+    def forward(self, x):
+        for layer in self._layers:
+            x = layer(x)
+        return x
+
+    def __len__(self):
+        return len(self._layers)
+
+    def __getitem__(self, index):
+        return self._layers[index]
+
+    def __iter__(self):
+        return iter(self._layers)
+
+
+class ModuleList(Module):
+    """A list of modules whose parameters are registered."""
+
+    def __init__(self, modules=()):
+        super().__init__()
+        self._items = []
+        for module in modules:
+            self.append(module)
+
+    def append(self, module: Module) -> "ModuleList":
+        setattr(self, str(len(self._items)), module)
+        self._items.append(module)
+        return self
+
+    def __len__(self):
+        return len(self._items)
+
+    def __getitem__(self, index):
+        return self._items[index]
+
+    def __iter__(self):
+        return iter(self._items)

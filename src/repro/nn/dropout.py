@@ -1,0 +1,25 @@
+"""Dropout regularization."""
+
+from __future__ import annotations
+
+from repro.nn import functional as F
+from repro.nn.module import Module
+from repro.utils.rng import default_rng
+from repro.utils.validation import check_in_range
+
+
+class Dropout(Module):
+    """Randomly zeroes activations with probability ``p`` during
+    training (inverted dropout: outputs are rescaled by 1/(1-p))."""
+
+    def __init__(self, p: float = 0.5, rng=None):
+        super().__init__()
+        check_in_range(p, 0.0, 1.0, "p")
+        self.p = p
+        self._rng = default_rng(rng, label="dropout")
+
+    def forward(self, x):
+        return F.dropout(x, self.p, training=self.training, rng=self._rng)
+
+    def __repr__(self):
+        return f"Dropout(p={self.p})"

@@ -1,0 +1,38 @@
+"""Fully-connected layer."""
+
+from __future__ import annotations
+
+from repro.nn import functional as F
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+from repro.utils.rng import default_rng
+from repro.utils.validation import check_positive
+
+
+class Linear(Module):
+    """Affine map ``y = x W^T + b`` with weight shape (out, in)."""
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True, rng=None):
+        super().__init__()
+        check_positive(in_features, "in_features")
+        check_positive(out_features, "out_features")
+        self.in_features = in_features
+        self.out_features = out_features
+        gen = default_rng(rng, label="linear")
+        self.weight = Parameter(
+            init.kaiming_uniform((out_features, in_features), rng=gen)
+        )
+        self.bias = Parameter(init.zeros(out_features)) if bias else None
+
+    def forward(self, x):
+        if x.shape[-1] != self.in_features:
+            raise ValueError(
+                f"expected last dim {self.in_features}, got {x.shape[-1]}"
+            )
+        return F.linear(x, self.weight, self.bias)
+
+    def __repr__(self):
+        return (
+            f"Linear(in_features={self.in_features}, "
+            f"out_features={self.out_features}, bias={self.bias is not None})"
+        )

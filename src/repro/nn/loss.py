@@ -1,0 +1,46 @@
+"""Loss modules."""
+
+from __future__ import annotations
+
+from repro.nn import functional as F
+from repro.nn.module import Module
+
+
+class MSELoss(Module):
+    """Mean squared error."""
+
+    def forward(self, pred, target):
+        return F.mse_loss(pred, target)
+
+    def __repr__(self):
+        return "MSELoss()"
+
+
+class L1Loss(Module):
+    """Mean absolute error."""
+
+    def forward(self, pred, target):
+        return F.l1_loss(pred, target)
+
+    def __repr__(self):
+        return "L1Loss()"
+
+
+class CrossEntropyLoss(Module):
+    """Softmax cross entropy over class logits (axis 1)."""
+
+    def forward(self, logits, target):
+        return F.cross_entropy(logits, target)
+
+    def __repr__(self):
+        return "CrossEntropyLoss()"
+
+
+class BCEWithLogitsLoss(Module):
+    """Binary cross entropy computed stably from logits."""
+
+    def forward(self, logits, target):
+        return F.bce_with_logits(logits, target)
+
+    def __repr__(self):
+        return "BCEWithLogitsLoss()"

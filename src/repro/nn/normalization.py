@@ -1,0 +1,78 @@
+"""Normalization layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import init
+from repro.nn.module import Buffer, Module, Parameter
+from repro.tensor import Tensor
+
+
+class BatchNorm2d(Module):
+    """Batch normalization over NCHW tensors (per-channel statistics).
+
+    In training mode, batch statistics normalize the input and update
+    exponential running statistics; in eval mode, running statistics
+    are used instead.
+    """
+
+    def __init__(self, num_features: int, eps: float = 1e-5, momentum: float = 0.1):
+        super().__init__()
+        self.num_features = num_features
+        self.eps = eps
+        self.momentum = momentum
+        self.weight = Parameter(init.ones(num_features))
+        self.bias = Parameter(init.zeros(num_features))
+        self.running_mean = Buffer(init.zeros(num_features))
+        self.running_var = Buffer(init.ones(num_features))
+
+    def forward(self, x):
+        if x.ndim != 4:
+            raise ValueError(f"BatchNorm2d expects NCHW input, got rank {x.ndim}")
+        if x.shape[1] != self.num_features:
+            raise ValueError(
+                f"expected {self.num_features} channels, got {x.shape[1]}"
+            )
+        if self.training:
+            mean = x.mean(axis=(0, 2, 3), keepdims=True)
+            var = x.var(axis=(0, 2, 3), keepdims=True)
+            with np.errstate(all="ignore"):
+                m = self.momentum
+                self.running_mean.data = (
+                    (1 - m) * self.running_mean.data + m * mean.data.reshape(-1)
+                )
+                self.running_var.data = (
+                    (1 - m) * self.running_var.data + m * var.data.reshape(-1)
+                )
+        else:
+            mean = Tensor(self.running_mean.data.reshape(1, -1, 1, 1))
+            var = Tensor(self.running_var.data.reshape(1, -1, 1, 1))
+        inv_std = (var + self.eps) ** -0.5
+        normed = (x - mean) * inv_std
+        gamma = self.weight.reshape(1, -1, 1, 1)
+        beta = self.bias.reshape(1, -1, 1, 1)
+        return normed * gamma + beta
+
+    def __repr__(self):
+        return f"BatchNorm2d({self.num_features}, eps={self.eps})"
+
+
+class LayerNorm(Module):
+    """Layer normalization over the trailing feature axis."""
+
+    def __init__(self, num_features: int, eps: float = 1e-5):
+        super().__init__()
+        self.num_features = num_features
+        self.eps = eps
+        self.weight = Parameter(init.ones(num_features))
+        self.bias = Parameter(init.zeros(num_features))
+
+    def forward(self, x):
+        mean = x.mean(axis=-1, keepdims=True)
+        var = x.var(axis=-1, keepdims=True)
+        normed = (x - mean) * ((var + self.eps) ** -0.5)
+        return normed * self.weight + self.bias
+
+    def __repr__(self):
+        return f"LayerNorm({self.num_features}, eps={self.eps})"

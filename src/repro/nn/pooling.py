@@ -1,0 +1,55 @@
+"""Pooling and upsampling layers."""
+
+from __future__ import annotations
+
+from repro.nn import functional as F
+from repro.nn.module import Module
+
+
+class MaxPool2d(Module):
+    """Non-overlapping max pooling."""
+
+    def __init__(self, kernel_size: int):
+        super().__init__()
+        self.kernel_size = kernel_size
+
+    def forward(self, x):
+        return F.max_pool2d(x, self.kernel_size)
+
+    def __repr__(self):
+        return f"MaxPool2d(kernel_size={self.kernel_size})"
+
+
+class AvgPool2d(Module):
+    """Non-overlapping average pooling."""
+
+    def __init__(self, kernel_size: int):
+        super().__init__()
+        self.kernel_size = kernel_size
+
+    def forward(self, x):
+        return F.avg_pool2d(x, self.kernel_size)
+
+    def __repr__(self):
+        return f"AvgPool2d(kernel_size={self.kernel_size})"
+
+
+class UpsampleNearest2d(Module):
+    """Nearest-neighbour upsampling by an integer scale factor."""
+
+    def __init__(self, scale: int):
+        super().__init__()
+        self.scale = scale
+
+    def forward(self, x):
+        return F.upsample_nearest2d(x, self.scale)
+
+    def __repr__(self):
+        return f"UpsampleNearest2d(scale={self.scale})"
+
+
+class GlobalAvgPool2d(Module):
+    """Spatial global average pooling: (N, C, H, W) -> (N, C)."""
+
+    def forward(self, x):
+        return F.global_avg_pool2d(x)

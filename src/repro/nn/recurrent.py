@@ -1,0 +1,129 @@
+"""Recurrent cells: LSTM and the convolutional LSTM of Shi et al.
+(NIPS 2015), the building block of the paper's ConvLSTM model."""
+
+from __future__ import annotations
+
+from repro.nn import functional as F
+from repro.nn.conv import Conv2d
+from repro.nn.linear import Linear
+from repro.nn.module import Module
+from repro.tensor import Tensor, concatenate, zeros
+
+
+class LSTMCell(Module):
+    """Standard LSTM cell over flat feature vectors.
+
+    State is a ``(h, c)`` pair of (N, hidden_size) tensors.
+    """
+
+    def __init__(self, input_size: int, hidden_size: int, rng=None):
+        super().__init__()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.gates = Linear(input_size + hidden_size, 4 * hidden_size, rng=rng)
+
+    def init_state(self, batch_size: int):
+        shape = (batch_size, self.hidden_size)
+        return zeros(shape), zeros(shape)
+
+    def forward(self, x, state=None):
+        if state is None:
+            state = self.init_state(x.shape[0])
+        h, c = state
+        gates = self.gates(concatenate([x, h], axis=1))
+        hs = self.hidden_size
+        i = gates[:, 0 * hs : 1 * hs].sigmoid()
+        f = gates[:, 1 * hs : 2 * hs].sigmoid()
+        g = gates[:, 2 * hs : 3 * hs].tanh()
+        o = gates[:, 3 * hs : 4 * hs].sigmoid()
+        c_next = f * c + i * g
+        h_next = o * c_next.tanh()
+        return h_next, (h_next, c_next)
+
+
+class ConvLSTMCell(Module):
+    """Convolutional LSTM cell: all gate transforms are convolutions,
+    so the state keeps its (N, hidden, H, W) spatial layout."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        hidden_channels: int,
+        kernel_size: int = 3,
+        rng=None,
+    ):
+        super().__init__()
+        if kernel_size % 2 == 0:
+            raise ValueError("kernel_size must be odd to preserve spatial size")
+        self.in_channels = in_channels
+        self.hidden_channels = hidden_channels
+        self.gates = Conv2d(
+            in_channels + hidden_channels,
+            4 * hidden_channels,
+            kernel_size,
+            padding=kernel_size // 2,
+            rng=rng,
+        )
+
+    def init_state(self, batch_size: int, height: int, width: int):
+        shape = (batch_size, self.hidden_channels, height, width)
+        return zeros(shape), zeros(shape)
+
+    def forward(self, x, state=None):
+        if state is None:
+            state = self.init_state(x.shape[0], x.shape[2], x.shape[3])
+        h, c = state
+        gates = self.gates(concatenate([x, h], axis=1))
+        hc = self.hidden_channels
+        i = gates[:, 0 * hc : 1 * hc].sigmoid()
+        f = gates[:, 1 * hc : 2 * hc].sigmoid()
+        g = gates[:, 2 * hc : 3 * hc].tanh()
+        o = gates[:, 3 * hc : 4 * hc].sigmoid()
+        c_next = f * c + i * g
+        h_next = o * c_next.tanh()
+        return h_next, (h_next, c_next)
+
+
+class ConvLSTM(Module):
+    """Multi-layer ConvLSTM unrolled over a (N, T, C, H, W) sequence.
+
+    Returns the sequence of top-layer hidden states stacked on the time
+    axis: (N, T, hidden, H, W).
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        hidden_channels,
+        kernel_size: int = 3,
+        rng=None,
+    ):
+        super().__init__()
+        if isinstance(hidden_channels, int):
+            hidden_channels = [hidden_channels]
+        from repro.nn.container import ModuleList
+
+        cells = []
+        channels = in_channels
+        for hidden in hidden_channels:
+            cells.append(ConvLSTMCell(channels, hidden, kernel_size, rng=rng))
+            channels = hidden
+        self.cells = ModuleList(cells)
+        self.hidden_channels = list(hidden_channels)
+
+    def forward(self, x: Tensor):
+        if x.ndim != 5:
+            raise ValueError(
+                f"ConvLSTM expects (N, T, C, H, W) input, got rank {x.ndim}"
+            )
+        n, t = x.shape[0], x.shape[1]
+        states = [None] * len(self.cells)
+        outputs = []
+        for step in range(t):
+            frame = x[:, step]
+            for layer, cell in enumerate(self.cells):
+                frame, states[layer] = cell(frame, states[layer])
+            outputs.append(frame)
+        from repro.tensor import stack
+
+        return stack(outputs, axis=1)

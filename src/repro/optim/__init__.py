@@ -1,0 +1,8 @@
+"""Optimizers and learning-rate schedulers."""
+
+from repro.optim.optimizer import Optimizer
+from repro.optim.sgd import SGD
+from repro.optim.adam import Adam
+from repro.optim.lr_scheduler import StepLR
+
+__all__ = ["Optimizer", "SGD", "Adam", "StepLR"]

@@ -1,0 +1,45 @@
+"""Adam optimizer (Kingma & Ba, 2015) — the optimizer used for every
+experiment in the paper."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.optim.optimizer import Optimizer
+
+
+class Adam(Optimizer):
+    """Adam with bias-corrected first/second moment estimates."""
+
+    def __init__(
+        self,
+        params,
+        lr: float = 1e-3,
+        betas: tuple = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(params, lr)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        b1, b2 = self.beta1, self.beta2
+        bias1 = 1.0 - b1**self._t
+        bias2 = 1.0 - b2**self._t
+        for i, param in enumerate(self.params):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            self._m[i] = b1 * self._m[i] + (1 - b1) * grad
+            self._v[i] = b2 * self._v[i] + (1 - b2) * grad * grad
+            m_hat = self._m[i] / bias1
+            v_hat = self._v[i] / bias2
+            param.data = param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

@@ -1,0 +1,28 @@
+"""Learning-rate schedulers."""
+
+from __future__ import annotations
+
+from repro.optim.optimizer import Optimizer
+
+
+class StepLR:
+    """Multiply the learning rate by ``gamma`` every ``step_size``
+    epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1):
+        if step_size <= 0:
+            raise ValueError("step_size must be positive")
+        self.optimizer = optimizer
+        self.step_size = step_size
+        self.gamma = gamma
+        self._epoch = 0
+
+    def step(self) -> None:
+        """Advance one epoch, decaying the lr on schedule boundaries."""
+        self._epoch += 1
+        if self._epoch % self.step_size == 0:
+            self.optimizer.lr *= self.gamma
+
+    @property
+    def lr(self) -> float:
+        return self.optimizer.lr

@@ -1,0 +1,23 @@
+"""Optimizer base class."""
+
+from __future__ import annotations
+
+
+class Optimizer:
+    """Holds a parameter list and applies gradient updates."""
+
+    def __init__(self, params, lr: float):
+        self.params = list(params)
+        if not self.params:
+            raise ValueError("optimizer received an empty parameter list")
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.lr = lr
+
+    def zero_grad(self) -> None:
+        """Clear gradients on all managed parameters."""
+        for param in self.params:
+            param.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError

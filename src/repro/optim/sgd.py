@@ -1,0 +1,32 @@
+"""Stochastic gradient descent with optional momentum."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.optim.optimizer import Optimizer
+
+
+class SGD(Optimizer):
+    """SGD update: ``p -= lr * (momentum_buffer or grad)``."""
+
+    def __init__(self, params, lr: float = 0.01, momentum: float = 0.0,
+                 weight_decay: float = 0.0):
+        super().__init__(params, lr)
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = [None] * len(self.params)
+
+    def step(self) -> None:
+        for i, param in enumerate(self.params):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            if self.momentum:
+                if self._velocity[i] is None:
+                    self._velocity[i] = np.zeros_like(param.data)
+                self._velocity[i] = self.momentum * self._velocity[i] + grad
+                grad = self._velocity[i]
+            param.data = param.data - self.lr * grad

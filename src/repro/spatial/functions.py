@@ -1,0 +1,70 @@
+"""Spatial column functions for engine DataFrames."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine.dataframe import DataFrame
+from repro.engine.expressions import udf
+from repro.geometry.envelope import Envelope
+from repro.geometry.grid import UniformGrid
+from repro.geometry.point import Point
+
+
+def add_point_column(
+    df: DataFrame,
+    lat_column: str,
+    lon_column: str,
+    alias: str = "point",
+) -> DataFrame:
+    """Add a geometry column of :class:`Point` objects built from
+    latitude/longitude columns (mirrors ``stm.add_spatial_points``)."""
+
+    def build_points(lats, lons):
+        out = np.empty(len(lats), dtype=object)
+        for i in range(len(lats)):
+            out[i] = Point(float(lons[i]), float(lats[i]))
+        return out
+
+    return df.with_column(
+        alias, udf(build_points, [lat_column, lon_column], name=alias)
+    )
+
+
+def assign_grid_cells(
+    df: DataFrame,
+    grid: UniformGrid,
+    x_column: str,
+    y_column: str,
+    alias: str = "cell_id",
+) -> DataFrame:
+    """Add the flat grid-cell id of each (x, y) row; -1 means outside
+    the grid envelope.  This is the fast vectorized path the
+    preprocessing module uses for point aggregation."""
+
+    def cells(xs, ys):
+        return grid.cell_ids_of_arrays(xs, ys)
+
+    return df.with_column(alias, udf(cells, [x_column, y_column], name=alias))
+
+
+def point_in_envelope(
+    df: DataFrame,
+    envelope: Envelope,
+    x_column: str,
+    y_column: str,
+    alias: str = "inside",
+) -> DataFrame:
+    """Boolean column marking rows whose point lies in the envelope."""
+
+    def inside(xs, ys):
+        xs = np.asarray(xs, dtype=np.float64)
+        ys = np.asarray(ys, dtype=np.float64)
+        return (
+            (xs >= envelope.min_x)
+            & (xs <= envelope.max_x)
+            & (ys >= envelope.min_y)
+            & (ys <= envelope.max_y)
+        )
+
+    return df.with_column(alias, udf(inside, [x_column, y_column], name=alias))

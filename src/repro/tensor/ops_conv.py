@@ -1,0 +1,272 @@
+"""Differentiable convolution and pooling primitives (NCHW layout).
+
+Each primitive has two execution strategies selected by the active
+backend (:mod:`repro.tensor.backend`):
+
+- ``accelerated``: kernel-tap shift-and-add — KH*KW fused BLAS
+  tensordots over whole feature maps, no per-pixel Python and no
+  im2col materialization (copies of strided windows dominate im2col
+  cost on CPU at large spatial sizes).
+- ``naive``: per-output-pixel loops — the reference implementation
+  used as the "CPU" leg of the Figure 9 reproduction.
+
+Both strategies compute identical values; tests assert this.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor.backend import ACCELERATED, get_backend
+from repro.tensor.tensor import Tensor
+
+
+def _conv_out_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    return (size + 2 * padding - kernel) // stride + 1
+
+
+def conv2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Tensor | None = None,
+    stride: int = 1,
+    padding: int = 0,
+) -> Tensor:
+    """2D cross-correlation.
+
+    Parameters
+    ----------
+    x : Tensor of shape (N, C_in, H, W)
+    weight : Tensor of shape (C_out, C_in, KH, KW)
+    bias : optional Tensor of shape (C_out,)
+    """
+    n, c, h, w = x.shape
+    f, c_w, kh, kw = weight.shape
+    if c != c_w:
+        raise ValueError(
+            f"input channels {c} do not match weight channels {c_w}"
+        )
+    oh = _conv_out_size(h, kh, stride, padding)
+    ow = _conv_out_size(w, kw, stride, padding)
+    if oh <= 0 or ow <= 0:
+        raise ValueError(
+            f"conv output would be empty for input {h}x{w}, kernel "
+            f"{kh}x{kw}, stride {stride}, padding {padding}"
+        )
+
+    xp = (
+        np.pad(x.data, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+        if padding
+        else x.data
+    )
+    accelerated = get_backend() == ACCELERATED
+
+    def tap_slice(i: int, j: int) -> np.ndarray:
+        """Input window feeding kernel tap (i, j): (N, C, OH, OW)."""
+        return xp[
+            :, :, i : i + stride * oh : stride, j : j + stride * ow : stride
+        ]
+
+    if accelerated:
+        out_nhwf = np.zeros((n, oh, ow, f), dtype=xp.dtype)
+        for i in range(kh):
+            for j in range(kw):
+                out_nhwf += np.tensordot(
+                    tap_slice(i, j), weight.data[:, :, i, j], axes=([1], [1])
+                )
+        out = out_nhwf.transpose(0, 3, 1, 2)
+    else:
+        out = np.empty((n, f, oh, ow), dtype=xp.dtype)
+        w_flat = weight.data.reshape(f, -1)
+        for i in range(oh):
+            for j in range(ow):
+                patch = xp[
+                    :, :, i * stride : i * stride + kh, j * stride : j * stride + kw
+                ].reshape(n, -1)
+                out[:, :, i, j] = patch @ w_flat.T
+
+    if bias is not None:
+        out = out + bias.data.reshape(1, f, 1, 1)
+
+    def backward(grad):
+        if weight.requires_grad:
+            if accelerated:
+                dw = np.empty_like(weight.data)
+                for i in range(kh):
+                    for j in range(kw):
+                        dw[:, :, i, j] = np.tensordot(
+                            grad, tap_slice(i, j), axes=([0, 2, 3], [0, 2, 3])
+                        )
+            else:
+                dw = np.zeros_like(weight.data)
+                w_rows = dw.reshape(f, -1)
+                for i in range(oh):
+                    for j in range(ow):
+                        patch = xp[
+                            :,
+                            :,
+                            i * stride : i * stride + kh,
+                            j * stride : j * stride + kw,
+                        ].reshape(n, -1)
+                        w_rows += grad[:, :, i, j].T @ patch
+            weight._accumulate(dw)
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(grad.sum(axis=(0, 2, 3)))
+        if x.requires_grad:
+            dxp = np.zeros_like(xp)
+            grad_nhwf = grad.transpose(0, 2, 3, 1)  # (N, OH, OW, F)
+            for i in range(kh):
+                for j in range(kw):
+                    contrib = np.tensordot(
+                        grad_nhwf, weight.data[:, :, i, j], axes=([3], [0])
+                    )  # (N, OH, OW, C)
+                    dxp[
+                        :, :, i : i + stride * oh : stride,
+                        j : j + stride * ow : stride,
+                    ] += contrib.transpose(0, 3, 1, 2)
+            if padding:
+                dxp = dxp[:, :, padding:-padding, padding:-padding]
+            x._accumulate(dxp)
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+    return Tensor._make(out, parents, backward)
+
+
+def conv_transpose2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Tensor | None = None,
+    stride: int = 1,
+    padding: int = 0,
+) -> Tensor:
+    """2D transposed convolution (fractionally-strided convolution).
+
+    Parameters
+    ----------
+    x : Tensor of shape (N, C_in, H, W)
+    weight : Tensor of shape (C_in, C_out, KH, KW)
+    """
+    n, c, h, w = x.shape
+    c_w, f, kh, kw = weight.shape
+    if c != c_w:
+        raise ValueError(
+            f"input channels {c} do not match weight channels {c_w}"
+        )
+    oh = (h - 1) * stride + kh - 2 * padding
+    ow = (w - 1) * stride + kw - 2 * padding
+    if oh <= 0 or ow <= 0:
+        raise ValueError("conv_transpose output would be empty")
+
+    full = np.zeros(
+        (n, f, (h - 1) * stride + kh, (w - 1) * stride + kw), dtype=x.data.dtype
+    )
+    for i in range(kh):
+        for j in range(kw):
+            # (N, H, W, F) contribution from kernel tap (i, j)
+            contrib = np.tensordot(x.data, weight.data[:, :, i, j], axes=([1], [0]))
+            full[:, :, i : i + stride * h : stride, j : j + stride * w : stride] += (
+                contrib.transpose(0, 3, 1, 2)
+            )
+    out = full[:, :, padding : padding + oh, padding : padding + ow]
+    if bias is not None:
+        out = out + bias.data.reshape(1, f, 1, 1)
+
+    def backward(grad):
+        gfull = np.zeros(
+            (n, f, (h - 1) * stride + kh, (w - 1) * stride + kw),
+            dtype=grad.dtype,
+        )
+        gfull[:, :, padding : padding + oh, padding : padding + ow] = grad
+        if x.requires_grad:
+            dx = np.zeros_like(x.data)
+            for i in range(kh):
+                for j in range(kw):
+                    gslice = gfull[
+                        :, :, i : i + stride * h : stride, j : j + stride * w : stride
+                    ]
+                    dx += np.tensordot(
+                        gslice, weight.data[:, :, i, j], axes=([1], [1])
+                    ).transpose(0, 3, 1, 2)
+            x._accumulate(dx)
+        if weight.requires_grad:
+            dw = np.zeros_like(weight.data)
+            for i in range(kh):
+                for j in range(kw):
+                    gslice = gfull[
+                        :, :, i : i + stride * h : stride, j : j + stride * w : stride
+                    ]
+                    dw[:, :, i, j] = np.tensordot(
+                        x.data, gslice, axes=([0, 2, 3], [0, 2, 3])
+                    )
+            weight._accumulate(dw)
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(grad.sum(axis=(0, 2, 3)))
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+    return Tensor._make(out, parents, backward)
+
+
+def max_pool2d(x: Tensor, kernel: int, stride: int | None = None) -> Tensor:
+    """Max pooling.  Only non-overlapping pooling (stride == kernel) is
+    supported, which covers every model in this library."""
+    stride = kernel if stride is None else stride
+    if stride != kernel:
+        raise NotImplementedError("max_pool2d requires stride == kernel")
+    n, c, h, w = x.shape
+    if h % kernel or w % kernel:
+        raise ValueError(
+            f"spatial dims ({h}, {w}) must be divisible by kernel {kernel}"
+        )
+    oh, ow = h // kernel, w // kernel
+    blocks = x.data.reshape(n, c, oh, kernel, ow, kernel)
+    out = blocks.max(axis=(3, 5))
+
+    def backward(grad):
+        expanded = out[:, :, :, None, :, None]
+        mask = blocks == expanded
+        counts = mask.sum(axis=(3, 5), keepdims=True)
+        g = grad[:, :, :, None, :, None] * mask / counts
+        x._accumulate(g.reshape(n, c, h, w))
+
+    return Tensor._make(out, (x,), backward)
+
+
+def avg_pool2d(x: Tensor, kernel: int, stride: int | None = None) -> Tensor:
+    """Average pooling with stride == kernel."""
+    stride = kernel if stride is None else stride
+    if stride != kernel:
+        raise NotImplementedError("avg_pool2d requires stride == kernel")
+    n, c, h, w = x.shape
+    if h % kernel or w % kernel:
+        raise ValueError(
+            f"spatial dims ({h}, {w}) must be divisible by kernel {kernel}"
+        )
+    oh, ow = h // kernel, w // kernel
+    blocks = x.data.reshape(n, c, oh, kernel, ow, kernel)
+    out = blocks.mean(axis=(3, 5))
+
+    def backward(grad):
+        g = np.broadcast_to(
+            grad[:, :, :, None, :, None] / (kernel * kernel),
+            (n, c, oh, kernel, ow, kernel),
+        )
+        x._accumulate(g.reshape(n, c, h, w).copy())
+
+    return Tensor._make(out, (x,), backward)
+
+
+def upsample_nearest2d(x: Tensor, scale: int) -> Tensor:
+    """Nearest-neighbour upsampling by an integer factor."""
+    n, c, h, w = x.shape
+    out = np.repeat(np.repeat(x.data, scale, axis=2), scale, axis=3)
+
+    def backward(grad):
+        g = grad.reshape(n, c, h, scale, w, scale).sum(axis=(3, 5))
+        x._accumulate(g)
+
+    return Tensor._make(out, (x,), backward)
+
+
+def global_avg_pool2d(x: Tensor) -> Tensor:
+    """Average over the spatial dims: (N, C, H, W) -> (N, C)."""
+    return x.mean(axis=(2, 3))

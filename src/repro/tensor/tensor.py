@@ -1,0 +1,618 @@
+"""The :class:`Tensor` class and its differentiable operations.
+
+The implementation is a vectorized reverse-mode autograd: every
+operation returns a new ``Tensor`` holding the numpy result, the set of
+parent tensors, and a closure that maps the output gradient back to
+parent gradients.  ``backward()`` walks the graph in reverse
+topological order, accumulating gradients.
+
+Broadcasting follows numpy semantics; gradients are "unbroadcast"
+(summed over expanded axes) so shapes always match their tensors.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+import numpy as np
+
+_grad_enabled = True
+
+
+def is_grad_enabled() -> bool:
+    """Return True when operations record the autograd graph."""
+    return _grad_enabled
+
+
+@contextmanager
+def no_grad():
+    """Disable graph recording within the block (inference mode)."""
+    global _grad_enabled
+    previous = _grad_enabled
+    _grad_enabled = False
+    try:
+        yield
+    finally:
+        _grad_enabled = previous
+
+
+def _as_array(data, dtype=None) -> np.ndarray:
+    arr = np.asarray(data)
+    if dtype is not None:
+        return arr.astype(dtype, copy=False)
+    if arr.dtype == np.float64:
+        return arr.astype(np.float32)
+    if arr.dtype.kind in "ui" and arr.dtype != np.int64:
+        return arr.astype(np.int64)
+    return arr
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple) -> np.ndarray:
+    """Sum ``grad`` over axes that were broadcast to reach ``grad.shape``."""
+    if grad.shape == shape:
+        return grad
+    # Sum away leading dimensions added by broadcasting.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over axes that were size 1 in the original shape.
+    axes = tuple(
+        i for i, (g, s) in enumerate(zip(grad.shape, shape)) if s == 1 and g != 1
+    )
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A multi-dimensional array with optional gradient tracking.
+
+    Parameters
+    ----------
+    data:
+        Anything ``numpy.asarray`` accepts.  float64 input is downcast
+        to float32 (the engine's default floating dtype).
+    requires_grad:
+        When True, operations involving this tensor are recorded and
+        ``backward()`` will populate :attr:`grad`.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_prev")
+    __array_priority__ = 100  # numpy defers binary ops to Tensor
+
+    def __init__(self, data, requires_grad: bool = False, dtype=None):
+        self.data = _as_array(data, dtype)
+        self.requires_grad = bool(requires_grad)
+        self.grad: np.ndarray | None = None
+        self._backward = None
+        self._prev: tuple = ()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_note = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor({self.data!r}{grad_note})"
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying numpy array (no copy)."""
+        return self.data
+
+    def item(self):
+        """Return the single scalar value held by this tensor."""
+        return self.data.item()
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but outside the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def copy(self) -> "Tensor":
+        return Tensor(self.data.copy(), requires_grad=False)
+
+    def astype(self, dtype) -> "Tensor":
+        return Tensor(self.data.astype(dtype), requires_grad=False)
+
+    # ------------------------------------------------------------------
+    # Autograd machinery
+    # ------------------------------------------------------------------
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if self.grad is None:
+            self.grad = grad.astype(self.data.dtype, copy=True)
+        else:
+            self.grad += grad
+
+    def zero_grad(self) -> None:
+        """Clear any accumulated gradient."""
+        self.grad = None
+
+    def backward(self, grad=None) -> None:
+        """Run reverse-mode autodiff from this tensor.
+
+        ``grad`` defaults to ones for scalar outputs; non-scalar
+        outputs require an explicit output gradient.
+        """
+        if not self.requires_grad:
+            raise RuntimeError("backward() on a tensor without requires_grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError(
+                    "backward() without an explicit gradient requires a "
+                    "scalar output"
+                )
+            grad = np.ones_like(self.data)
+        else:
+            grad = np.asarray(grad, dtype=self.data.dtype)
+            if grad.shape != self.data.shape:
+                raise ValueError(
+                    f"gradient shape {grad.shape} does not match tensor "
+                    f"shape {self.data.shape}"
+                )
+
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+        stack = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._prev:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+
+        self._accumulate(grad)
+        for node in reversed(topo):
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)
+
+    @staticmethod
+    def _make(data: np.ndarray, parents: tuple, backward) -> "Tensor":
+        """Create an op output, wiring the graph if grads are on."""
+        track = _grad_enabled and any(p.requires_grad for p in parents)
+        out = Tensor(data, requires_grad=track)
+        if track:
+            out._prev = tuple(p for p in parents if p.requires_grad)
+            out._backward = backward
+        return out
+
+    # ------------------------------------------------------------------
+    # Elementwise arithmetic
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _coerce(other) -> "Tensor":
+        return other if isinstance(other, Tensor) else Tensor(other)
+
+    def __add__(self, other):
+        other = self._coerce(other)
+        data = self.data + other.data
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(grad, self.shape))
+            if other.requires_grad:
+                other._accumulate(_unbroadcast(grad, other.shape))
+
+        return Tensor._make(data, (self, other), backward)
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        other = self._coerce(other)
+        data = self.data - other.data
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(grad, self.shape))
+            if other.requires_grad:
+                other._accumulate(_unbroadcast(-grad, other.shape))
+
+        return Tensor._make(data, (self, other), backward)
+
+    def __rsub__(self, other):
+        return self._coerce(other).__sub__(self)
+
+    def __mul__(self, other):
+        other = self._coerce(other)
+        data = self.data * other.data
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(grad * other.data, self.shape))
+            if other.requires_grad:
+                other._accumulate(_unbroadcast(grad * self.data, other.shape))
+
+        return Tensor._make(data, (self, other), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other):
+        other = self._coerce(other)
+        data = self.data / other.data
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(grad / other.data, self.shape))
+            if other.requires_grad:
+                other._accumulate(
+                    _unbroadcast(-grad * self.data / other.data**2, other.shape)
+                )
+
+        return Tensor._make(data, (self, other), backward)
+
+    def __rtruediv__(self, other):
+        return self._coerce(other).__truediv__(self)
+
+    def __neg__(self):
+        def backward(grad):
+            self._accumulate(-grad)
+
+        return Tensor._make(-self.data, (self,), backward)
+
+    def __pow__(self, exponent):
+        if not isinstance(exponent, (int, float)):
+            raise TypeError("only scalar exponents are supported")
+        data = self.data**exponent
+
+        def backward(grad):
+            self._accumulate(grad * exponent * self.data ** (exponent - 1))
+
+        return Tensor._make(data, (self,), backward)
+
+    def __matmul__(self, other):
+        other = self._coerce(other)
+        data = self.data @ other.data
+
+        def backward(grad):
+            if self.requires_grad:
+                if other.data.ndim == 1:
+                    g = np.outer(grad, other.data) if grad.ndim == 1 else (
+                        grad[..., None] * other.data
+                    )
+                else:
+                    g = grad @ np.swapaxes(other.data, -1, -2)
+                self._accumulate(_unbroadcast(np.asarray(g), self.shape))
+            if other.requires_grad:
+                if self.data.ndim == 1:
+                    g = np.outer(self.data, grad)
+                else:
+                    g = np.swapaxes(self.data, -1, -2) @ grad
+                other._accumulate(_unbroadcast(np.asarray(g), other.shape))
+
+        return Tensor._make(data, (self, other), backward)
+
+    # ------------------------------------------------------------------
+    # Comparisons (non-differentiable; return plain bool tensors)
+    # ------------------------------------------------------------------
+    def __gt__(self, other):
+        other = self._coerce(other)
+        return Tensor(self.data > other.data)
+
+    def __lt__(self, other):
+        other = self._coerce(other)
+        return Tensor(self.data < other.data)
+
+    def __ge__(self, other):
+        other = self._coerce(other)
+        return Tensor(self.data >= other.data)
+
+    def __le__(self, other):
+        other = self._coerce(other)
+        return Tensor(self.data <= other.data)
+
+    # ------------------------------------------------------------------
+    # Unary math
+    # ------------------------------------------------------------------
+    def exp(self):
+        data = np.exp(self.data)
+
+        def backward(grad):
+            self._accumulate(grad * data)
+
+        return Tensor._make(data, (self,), backward)
+
+    def log(self):
+        data = np.log(self.data)
+
+        def backward(grad):
+            self._accumulate(grad / self.data)
+
+        return Tensor._make(data, (self,), backward)
+
+    def sqrt(self):
+        data = np.sqrt(self.data)
+
+        def backward(grad):
+            self._accumulate(grad * 0.5 / np.maximum(data, 1e-12))
+
+        return Tensor._make(data, (self,), backward)
+
+    def abs(self):
+        data = np.abs(self.data)
+
+        def backward(grad):
+            self._accumulate(grad * np.sign(self.data))
+
+        return Tensor._make(data, (self,), backward)
+
+    def tanh(self):
+        data = np.tanh(self.data)
+
+        def backward(grad):
+            self._accumulate(grad * (1.0 - data**2))
+
+        return Tensor._make(data, (self,), backward)
+
+    def sigmoid(self):
+        # Piecewise-stable logistic: never exponentiates a positive
+        # argument, so extreme inputs cannot overflow.
+        x = self.data
+        positive = x >= 0
+        exp_neg_abs = np.exp(-np.abs(x))
+        data = np.where(
+            positive, 1.0 / (1.0 + exp_neg_abs), exp_neg_abs / (1.0 + exp_neg_abs)
+        ).astype(x.dtype, copy=False)
+
+        def backward(grad):
+            self._accumulate(grad * data * (1.0 - data))
+
+        return Tensor._make(data, (self,), backward)
+
+    def relu(self):
+        mask = self.data > 0
+        data = self.data * mask
+
+        def backward(grad):
+            self._accumulate(grad * mask)
+
+        return Tensor._make(data, (self,), backward)
+
+    def clip(self, low, high):
+        data = np.clip(self.data, low, high)
+        mask = (self.data >= low) & (self.data <= high)
+
+        def backward(grad):
+            self._accumulate(grad * mask)
+
+        return Tensor._make(data, (self,), backward)
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis=None, keepdims: bool = False):
+        data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(grad):
+            g = grad
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis)
+            self._accumulate(np.broadcast_to(g, self.shape).copy())
+
+        return Tensor._make(data, (self,), backward)
+
+    def mean(self, axis=None, keepdims: bool = False):
+        if axis is None:
+            count = self.data.size
+        else:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            count = int(np.prod([self.data.shape[a] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def var(self, axis=None, keepdims: bool = False):
+        mu = self.mean(axis=axis, keepdims=True)
+        centered = self - mu
+        out = (centered * centered).mean(axis=axis, keepdims=keepdims)
+        return out
+
+    def max(self, axis=None, keepdims: bool = False):
+        data = self.data.max(axis=axis, keepdims=keepdims)
+
+        def backward(grad):
+            g = grad
+            d = data
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis)
+                d = np.expand_dims(d, axis)
+            mask = self.data == d
+            counts = mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
+            self._accumulate(mask * g / counts)
+
+        return Tensor._make(data, (self,), backward)
+
+    def min(self, axis=None, keepdims: bool = False):
+        return -((-self).max(axis=axis, keepdims=keepdims))
+
+    # ------------------------------------------------------------------
+    # Shape manipulation
+    # ------------------------------------------------------------------
+    def reshape(self, *shape):
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        data = self.data.reshape(shape)
+        original = self.shape
+
+        def backward(grad):
+            self._accumulate(grad.reshape(original))
+
+        return Tensor._make(data, (self,), backward)
+
+    def flatten(self, start_axis: int = 0):
+        new_shape = self.shape[:start_axis] + (-1,)
+        return self.reshape(*new_shape)
+
+    def transpose(self, *axes):
+        if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        if not axes:
+            axes = tuple(reversed(range(self.ndim)))
+        data = self.data.transpose(axes)
+        inverse = np.argsort(axes)
+
+        def backward(grad):
+            self._accumulate(grad.transpose(inverse))
+
+        return Tensor._make(data, (self,), backward)
+
+    @property
+    def T(self):
+        return self.transpose()
+
+    def swapaxes(self, a: int, b: int):
+        axes = list(range(self.ndim))
+        axes[a], axes[b] = axes[b], axes[a]
+        return self.transpose(*axes)
+
+    def expand_dims(self, axis: int):
+        data = np.expand_dims(self.data, axis)
+
+        def backward(grad):
+            self._accumulate(np.squeeze(grad, axis=axis))
+
+        return Tensor._make(data, (self,), backward)
+
+    def squeeze(self, axis: int):
+        data = np.squeeze(self.data, axis=axis)
+
+        def backward(grad):
+            self._accumulate(np.expand_dims(grad, axis))
+
+        return Tensor._make(data, (self,), backward)
+
+    def __getitem__(self, key):
+        if isinstance(key, Tensor):
+            key = key.data
+        data = self.data[key]
+
+        def backward(grad):
+            full = np.zeros_like(self.data)
+            np.add.at(full, key, grad)
+            self._accumulate(full)
+
+        return Tensor._make(data, (self,), backward)
+
+    def pad2d(self, pad_h: int, pad_w: int, value: float = 0.0):
+        """Pad the last two axes symmetrically (NCHW convention)."""
+        if pad_h == 0 and pad_w == 0:
+            return self
+        width = [(0, 0)] * (self.ndim - 2) + [(pad_h, pad_h), (pad_w, pad_w)]
+        data = np.pad(self.data, width, constant_values=value)
+        h, w = self.shape[-2], self.shape[-1]
+
+        def backward(grad):
+            sl = (Ellipsis, slice(pad_h, pad_h + h), slice(pad_w, pad_w + w))
+            self._accumulate(grad[sl])
+
+        return Tensor._make(data, (self,), backward)
+
+
+# ----------------------------------------------------------------------
+# Free functions
+# ----------------------------------------------------------------------
+def tensor(data, requires_grad: bool = False, dtype=None) -> Tensor:
+    """Construct a tensor (alias of the constructor, PyTorch-style)."""
+    return Tensor(data, requires_grad=requires_grad, dtype=dtype)
+
+
+def zeros(shape, requires_grad: bool = False, dtype=np.float32) -> Tensor:
+    return Tensor(np.zeros(shape, dtype=dtype), requires_grad=requires_grad)
+
+
+def ones(shape, requires_grad: bool = False, dtype=np.float32) -> Tensor:
+    return Tensor(np.ones(shape, dtype=dtype), requires_grad=requires_grad)
+
+
+def full(shape, value, requires_grad: bool = False, dtype=np.float32) -> Tensor:
+    return Tensor(np.full(shape, value, dtype=dtype), requires_grad=requires_grad)
+
+
+def arange(*args, dtype=np.float32) -> Tensor:
+    return Tensor(np.arange(*args, dtype=dtype))
+
+
+def randn(shape, rng=None, requires_grad: bool = False) -> Tensor:
+    from repro.utils.rng import default_rng
+
+    gen = default_rng(rng)
+    return Tensor(
+        gen.standard_normal(shape).astype(np.float32),
+        requires_grad=requires_grad,
+    )
+
+
+def rand(shape, rng=None, requires_grad: bool = False) -> Tensor:
+    from repro.utils.rng import default_rng
+
+    gen = default_rng(rng)
+    return Tensor(
+        gen.random(shape).astype(np.float32), requires_grad=requires_grad
+    )
+
+
+def concatenate(tensors, axis: int = 0) -> Tensor:
+    """Differentiable concatenation along ``axis``."""
+    tensors = [Tensor._coerce(t) for t in tensors]
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad):
+        for t, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            if t.requires_grad:
+                sl = [slice(None)] * grad.ndim
+                sl[axis] = slice(start, stop)
+                t._accumulate(grad[tuple(sl)])
+
+    return Tensor._make(data, tuple(tensors), backward)
+
+
+def stack(tensors, axis: int = 0) -> Tensor:
+    """Differentiable stacking along a new axis."""
+    tensors = [Tensor._coerce(t) for t in tensors]
+    data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(grad):
+        slices = np.moveaxis(grad, axis, 0)
+        for t, g in zip(tensors, slices):
+            if t.requires_grad:
+                t._accumulate(g)
+
+    return Tensor._make(data, tuple(tensors), backward)
+
+
+def where(condition, a, b) -> Tensor:
+    """Differentiable select: ``condition ? a : b``."""
+    cond = condition.data if isinstance(condition, Tensor) else np.asarray(condition)
+    cond = cond.astype(bool)
+    a = Tensor._coerce(a)
+    b = Tensor._coerce(b)
+    data = np.where(cond, a.data, b.data)
+
+    def backward(grad):
+        if a.requires_grad:
+            a._accumulate(_unbroadcast(grad * cond, a.shape))
+        if b.requires_grad:
+            b._accumulate(_unbroadcast(grad * np.logical_not(cond), b.shape))
+
+    return Tensor._make(data, (a, b), backward)

@@ -1,0 +1,24 @@
+"""Shared utilities: seeding, timing, memory accounting, validation."""
+
+from repro.utils.rng import default_rng, derive_seed
+from repro.utils.timing import Stopwatch, timed
+from repro.utils.memory import MemoryMeter, approx_nbytes
+from repro.utils.validation import (
+    check_positive,
+    check_non_negative,
+    check_in_range,
+    check_type,
+)
+
+__all__ = [
+    "default_rng",
+    "derive_seed",
+    "Stopwatch",
+    "timed",
+    "MemoryMeter",
+    "approx_nbytes",
+    "check_positive",
+    "check_non_negative",
+    "check_in_range",
+    "check_type",
+]

@@ -1,0 +1,49 @@
+"""Wall-clock timing helpers used by the benchmark harnesses."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Stopwatch:
+    """Accumulating stopwatch with named laps.
+
+    >>> sw = Stopwatch()
+    >>> with sw.lap("load"):
+    ...     pass
+    >>> "load" in sw.laps
+    True
+    """
+
+    laps: dict = field(default_factory=dict)
+
+    @contextmanager
+    def lap(self, name: str):
+        start = time.perf_counter()
+        try:
+            yield self
+        finally:
+            elapsed = time.perf_counter() - start
+            self.laps[name] = self.laps.get(name, 0.0) + elapsed
+
+    @property
+    def total(self) -> float:
+        return sum(self.laps.values())
+
+    def report(self) -> str:
+        lines = [f"{name}: {secs:.4f}s" for name, secs in self.laps.items()]
+        lines.append(f"total: {self.total:.4f}s")
+        return "\n".join(lines)
+
+
+@contextmanager
+def timed(sink: dict, key: str):
+    """Time a block and store elapsed seconds into ``sink[key]``."""
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        sink[key] = time.perf_counter() - start

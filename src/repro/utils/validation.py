@@ -1,0 +1,40 @@
+"""Argument validation helpers shared across the public API."""
+
+from __future__ import annotations
+
+
+def check_positive(value, name: str):
+    """Raise ``ValueError`` unless ``value`` is strictly positive."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+    return value
+
+
+def check_non_negative(value, name: str):
+    """Raise ``ValueError`` unless ``value`` is >= 0."""
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value!r}")
+    return value
+
+
+def check_in_range(value, low, high, name: str):
+    """Raise ``ValueError`` unless ``low <= value <= high``."""
+    if not (low <= value <= high):
+        raise ValueError(
+            f"{name} must be in [{low}, {high}], got {value!r}"
+        )
+    return value
+
+
+def check_type(value, types, name: str):
+    """Raise ``TypeError`` unless ``value`` is an instance of ``types``."""
+    if not isinstance(value, types):
+        expected = (
+            types.__name__
+            if isinstance(types, type)
+            else " or ".join(t.__name__ for t in types)
+        )
+        raise TypeError(
+            f"{name} must be {expected}, got {type(value).__name__}"
+        )
+    return value

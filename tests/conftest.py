@@ -1,0 +1,42 @@
+"""Shared test fixtures."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def dataset_root(tmp_path_factory) -> str:
+    """Session-wide dataset cache so generators run once."""
+    return str(tmp_path_factory.mktemp("datasets"))
+
+
+def numeric_gradient(fn, tensor, eps: float = 1e-3) -> np.ndarray:
+    """Central-difference gradient of scalar ``fn()`` wrt ``tensor``."""
+    grad = np.zeros_like(tensor.data, dtype=np.float64)
+    flat = tensor.data.reshape(-1)
+    out = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        up = fn().item()
+        flat[i] = original - eps
+        down = fn().item()
+        flat[i] = original
+        out[i] = (up - down) / (2 * eps)
+    return grad
+
+
+def assert_grad_close(analytic, numeric, rtol: float = 2e-2):
+    """Relative max-norm comparison suitable for float32 numerics."""
+    analytic = np.asarray(analytic, dtype=np.float64)
+    numeric = np.asarray(numeric, dtype=np.float64)
+    denom = max(np.abs(numeric).max(), 1e-6)
+    rel = np.abs(analytic - numeric).max() / denom
+    assert rel < rtol, f"gradient mismatch: rel err {rel:.2e}"

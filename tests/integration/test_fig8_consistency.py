@@ -1,0 +1,42 @@
+"""Integration: the Figure 8 systems agree on results and differ in
+cost the way the paper claims, at a tiny test scale."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.fig8 import (
+    make_records,
+    run_baseline_prep,
+    run_engine_prep,
+)
+
+
+@pytest.fixture(scope="module")
+def records():
+    return make_records(8_000, seed=1)
+
+
+class TestFig8Systems:
+    def test_same_tensor(self, records):
+        engine = run_engine_prep(records)
+        baseline = run_baseline_prep(records)
+        np.testing.assert_allclose(
+            engine["tensor"][..., 0], baseline["tensor"]
+        )
+
+    def test_engine_uses_less_memory(self, records):
+        engine = run_engine_prep(records)
+        baseline = run_baseline_prep(records)
+        assert engine["peak_bytes"] < baseline["peak_bytes"]
+
+    def test_baseline_oom_under_cap(self, records):
+        result = run_baseline_prep(records, cap_bytes=100_000)
+        assert result["oom"]
+        assert result["tensor"] is None
+
+    def test_engine_partition_size_independence(self, records):
+        a = run_engine_prep(records, rows_per_partition=1_000)
+        b = run_engine_prep(records, rows_per_partition=8_000)
+        np.testing.assert_allclose(a["tensor"], b["tensor"])
+        # Finer partitions -> smaller peak.
+        assert a["peak_bytes"] < b["peak_bytes"]

@@ -1,0 +1,91 @@
+"""Property-based tests: the DFtoTorch converter streams exactly the
+rows a full collect would produce, for arbitrary partitionings."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.converter import (
+    ClassificationSpec,
+    DFToTorchConverter,
+    SpatiotemporalSpec,
+)
+from repro.engine import Session
+from repro.spatial import RasterTile
+
+
+@st.composite
+def tile_frames(draw):
+    n = draw(st.integers(min_value=1, max_value=25))
+    parts = draw(st.integers(min_value=1, max_value=4))
+    batch = draw(st.integers(min_value=1, max_value=8))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    return n, parts, batch, seed
+
+
+@settings(max_examples=25, deadline=None)
+@given(tile_frames())
+def test_classification_stream_equals_collect(case):
+    n, parts, batch, seed = case
+    rng = np.random.default_rng(seed)
+    tiles = np.empty(n, dtype=object)
+    for i in range(n):
+        tiles[i] = RasterTile(rng.random((1, 2, 2)).astype(np.float32))
+    labels = rng.integers(0, 3, n)
+    session = Session(default_parallelism=parts)
+    df = session.create_dataframe({"tile": tiles, "label": labels})
+
+    converter = DFToTorchConverter(ClassificationSpec())
+    xs, ys = [], []
+    for x, y in converter.convert(df, batch_size=batch):
+        xs.append(x.numpy())
+        ys.append(y.numpy())
+    streamed_x = np.concatenate(xs)
+    streamed_y = np.concatenate(ys)
+
+    assert streamed_x.shape[0] == n
+    np.testing.assert_allclose(
+        streamed_x, np.stack([t.data for t in tiles])
+    )
+    np.testing.assert_array_equal(streamed_y, labels)
+
+
+@st.composite
+def sparse_st_frames(draw):
+    steps = draw(st.integers(min_value=2, max_value=20))
+    lead = draw(st.integers(min_value=1, max_value=min(3, steps - 1)))
+    parts = draw(st.integers(min_value=1, max_value=4))
+    batch = draw(st.integers(min_value=1, max_value=6))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    return steps, lead, parts, batch, seed
+
+
+@settings(max_examples=25, deadline=None)
+@given(sparse_st_frames())
+def test_spatiotemporal_pairs_complete_and_ordered(case):
+    steps, lead, parts, batch, seed = case
+    rng = np.random.default_rng(seed)
+    w, h = 3, 2
+    rows = []
+    dense = np.zeros((steps, h, w), dtype=np.float32)
+    for t in range(steps):
+        for cell in rng.choice(w * h, size=rng.integers(1, w * h), replace=False):
+            value = float(rng.integers(1, 50))
+            rows.append(
+                {"time_step": t, "cell_id": int(cell), "count": value}
+            )
+            dense[t, cell // w, cell % w] = value
+    session = Session(default_parallelism=parts)
+    df = session.create_dataframe(rows)
+
+    spec = SpatiotemporalSpec(partitions_x=w, partitions_y=h, lead_time=lead)
+    xs, ys = [], []
+    for x, y in DFToTorchConverter(spec).convert(df, batch_size=batch):
+        xs.append(x.numpy())
+        ys.append(y.numpy())
+    streamed_x = np.concatenate(xs)[:, 0]
+    streamed_y = np.concatenate(ys)[:, 0]
+
+    assert streamed_x.shape[0] == steps - lead
+    np.testing.assert_allclose(streamed_x, dense[:-lead])
+    np.testing.assert_allclose(streamed_y, dense[lead:])

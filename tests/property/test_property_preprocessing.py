@@ -1,0 +1,91 @@
+"""Property-based invariants of the preprocessing pipeline."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.preprocessing.grid import STManager
+from repro.engine import Session
+from repro.geometry import Envelope
+
+
+@st.composite
+def point_workloads(draw):
+    n = draw(st.integers(min_value=1, max_value=200))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    nx = draw(st.integers(min_value=1, max_value=6))
+    ny = draw(st.integers(min_value=1, max_value=6))
+    parts = draw(st.integers(min_value=1, max_value=5))
+    return n, seed, nx, ny, parts
+
+
+ENVELOPE = Envelope(0.0, 10.0, 0.0, 10.0)
+STEP = 100.0
+HORIZON = 1000.0
+
+
+def _pipeline(n, seed, nx, ny, parts):
+    rng = np.random.default_rng(seed)
+    # Half the points inside the envelope, some outside.
+    lons = rng.uniform(-2.0, 12.0, n)
+    lats = rng.uniform(-2.0, 12.0, n)
+    times = rng.uniform(0.0, HORIZON, n)
+    session = Session(default_parallelism=parts)
+    df = session.create_dataframe({"lat": lats, "lon": lons, "t": times})
+    spatial = STManager.add_spatial_points(df, "lat", "lon", "point")
+    st_df = STManager.get_st_grid_dataframe(
+        spatial, "point", nx, ny, "t", STEP,
+        envelope=ENVELOPE, temporal_origin=0.0,
+    )
+    inside = (
+        (lons >= 0.0) & (lons <= 10.0) & (lats >= 0.0) & (lats <= 10.0)
+    )
+    return st_df, int(inside.sum())
+
+
+@settings(max_examples=25, deadline=None)
+@given(point_workloads())
+def test_counts_conserve_inside_points(workload):
+    st_df, inside = _pipeline(*workload)
+    total = sum(r["count"] for r in st_df.collect())
+    assert total == inside
+
+
+@settings(max_examples=25, deadline=None)
+@given(point_workloads())
+def test_cell_ids_within_grid(workload):
+    n, seed, nx, ny, parts = workload
+    st_df, _ = _pipeline(n, seed, nx, ny, parts)
+    for row in st_df.collect():
+        assert 0 <= row["cell_id"] < nx * ny
+        assert 0 <= row["cell_x"] < nx
+        assert 0 <= row["cell_y"] < ny
+        assert 0 <= row["time_step"] < HORIZON / STEP + 1
+
+
+@settings(max_examples=25, deadline=None)
+@given(point_workloads())
+def test_tensor_matches_dataframe(workload):
+    n, seed, nx, ny, parts = workload
+    st_df, inside = _pipeline(n, seed, nx, ny, parts)
+    tensor = STManager.get_st_grid_array(st_df, nx, ny, num_steps=10)
+    assert tensor.shape == (10, ny, nx, 1)
+    assert tensor.sum() == inside
+    for row in st_df.collect():
+        assert (
+            tensor[row["time_step"], row["cell_y"], row["cell_x"], 0]
+            == row["count"]
+        )
+
+
+@settings(max_examples=25, deadline=None)
+@given(point_workloads())
+def test_partitioning_invariance(workload):
+    """The aggregate is identical no matter how the input is split."""
+    n, seed, nx, ny, _ = workload
+    a, _ = _pipeline(n, seed, nx, ny, 1)
+    b, _ = _pipeline(n, seed, nx, ny, 5)
+    key = lambda r: (r["time_step"], r["cell_id"])
+    rows_a = {key(r): r["count"] for r in a.collect()}
+    rows_b = {key(r): r["count"] for r in b.collect()}
+    assert rows_a == rows_b

@@ -1,0 +1,188 @@
+"""Convolution/pooling primitives: gradients, backends, error cases."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, use_backend, get_backend, set_backend
+from repro.tensor.ops_conv import (
+    avg_pool2d,
+    conv2d,
+    conv_transpose2d,
+    global_avg_pool2d,
+    max_pool2d,
+    upsample_nearest2d,
+)
+
+from tests.conftest import assert_grad_close, numeric_gradient
+
+
+def _rand(rng, shape, grad=True):
+    return Tensor(rng.random(shape, dtype=np.float32) - 0.5, requires_grad=grad)
+
+
+class TestConv2d:
+    @pytest.mark.parametrize("stride,padding", [(1, 0), (1, 1), (2, 1), (2, 0)])
+    def test_gradcheck(self, rng, stride, padding):
+        x = _rand(rng, (2, 3, 6, 6))
+        w = _rand(rng, (4, 3, 3, 3))
+        b = _rand(rng, (4,))
+
+        def fn():
+            return (conv2d(x, w, b, stride=stride, padding=padding) ** 2).sum()
+
+        fn().backward()
+        for t in (x, w, b):
+            assert_grad_close(t.grad, numeric_gradient(fn, t))
+            t.zero_grad()
+
+    def test_output_shape(self, rng):
+        x = _rand(rng, (1, 2, 8, 8), grad=False)
+        w = _rand(rng, (5, 2, 3, 3), grad=False)
+        out = conv2d(x, w, stride=2, padding=1)
+        assert out.shape == (1, 5, 4, 4)
+
+    def test_channel_mismatch(self, rng):
+        with pytest.raises(ValueError, match="channels"):
+            conv2d(_rand(rng, (1, 3, 4, 4)), _rand(rng, (2, 4, 3, 3)))
+
+    def test_empty_output_rejected(self, rng):
+        with pytest.raises(ValueError, match="empty"):
+            conv2d(_rand(rng, (1, 1, 2, 2)), _rand(rng, (1, 1, 5, 5)))
+
+    def test_backends_agree_forward(self, rng):
+        x = _rand(rng, (2, 3, 7, 7), grad=False)
+        w = _rand(rng, (4, 3, 3, 3), grad=False)
+        b = _rand(rng, (4,), grad=False)
+        with use_backend("accelerated"):
+            fast = conv2d(x, w, b, stride=2, padding=1).data
+        with use_backend("naive"):
+            slow = conv2d(x, w, b, stride=2, padding=1).data
+        np.testing.assert_allclose(fast, slow, rtol=1e-5, atol=1e-6)
+
+    def test_backends_agree_backward(self, rng):
+        grads = {}
+        for backend in ("accelerated", "naive"):
+            x = Tensor(
+                np.linspace(-1, 1, 2 * 2 * 5 * 5, dtype=np.float32).reshape(
+                    2, 2, 5, 5
+                ),
+                requires_grad=True,
+            )
+            w = Tensor(
+                np.linspace(-0.5, 0.5, 3 * 2 * 9, dtype=np.float32).reshape(
+                    3, 2, 3, 3
+                ),
+                requires_grad=True,
+            )
+            with use_backend(backend):
+                (conv2d(x, w, padding=1) ** 2).sum().backward()
+            grads[backend] = (x.grad.copy(), w.grad.copy())
+        np.testing.assert_allclose(
+            grads["accelerated"][0], grads["naive"][0], rtol=1e-4, atol=1e-5
+        )
+        np.testing.assert_allclose(
+            grads["accelerated"][1], grads["naive"][1], rtol=1e-4, atol=1e-5
+        )
+
+    def test_known_values(self):
+        # Identity 1x1 kernel reproduces the input.
+        x = Tensor(np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4))
+        w = Tensor(np.ones((1, 1, 1, 1), dtype=np.float32))
+        np.testing.assert_allclose(conv2d(x, w).data, x.data)
+
+    def test_backend_switch_api(self):
+        assert get_backend() == "accelerated"
+        set_backend("naive")
+        assert get_backend() == "naive"
+        set_backend("accelerated")
+        with pytest.raises(ValueError):
+            set_backend("gpu")
+
+
+class TestConvTranspose2d:
+    @pytest.mark.parametrize("stride,padding", [(1, 0), (2, 0), (2, 1)])
+    def test_gradcheck(self, rng, stride, padding):
+        x = _rand(rng, (2, 3, 4, 4))
+        w = _rand(rng, (3, 2, 3, 3))
+
+        def fn():
+            return (
+                conv_transpose2d(x, w, stride=stride, padding=padding) ** 2
+            ).sum()
+
+        fn().backward()
+        for t in (x, w):
+            assert_grad_close(t.grad, numeric_gradient(fn, t))
+            t.zero_grad()
+
+    def test_inverts_strided_shape(self, rng):
+        x = _rand(rng, (1, 4, 5, 5), grad=False)
+        w = _rand(rng, (4, 2, 2, 2), grad=False)
+        out = conv_transpose2d(x, w, stride=2)
+        assert out.shape == (1, 2, 10, 10)
+
+    def test_bias(self, rng):
+        x = _rand(rng, (1, 2, 3, 3), grad=False)
+        w = Tensor(np.zeros((2, 3, 2, 2), dtype=np.float32))
+        b = Tensor(np.array([1.0, 2.0, 3.0], dtype=np.float32))
+        out = conv_transpose2d(x, w, b)
+        np.testing.assert_allclose(out.data[0, 0], 1.0)
+        np.testing.assert_allclose(out.data[0, 2], 3.0)
+
+    def test_channel_mismatch(self, rng):
+        with pytest.raises(ValueError, match="channels"):
+            conv_transpose2d(_rand(rng, (1, 3, 4, 4)), _rand(rng, (2, 3, 2, 2)))
+
+
+class TestPooling:
+    def test_max_pool_values(self):
+        x = Tensor(np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4))
+        out = max_pool2d(x, 2)
+        np.testing.assert_allclose(out.data[0, 0], [[5, 7], [13, 15]])
+
+    def test_max_pool_gradcheck(self, rng):
+        x = _rand(rng, (2, 2, 4, 4))
+
+        def fn():
+            return (max_pool2d(x, 2) ** 2).sum()
+
+        fn().backward()
+        assert_grad_close(x.grad, numeric_gradient(fn, x))
+
+    def test_max_pool_requires_divisible(self, rng):
+        with pytest.raises(ValueError, match="divisible"):
+            max_pool2d(_rand(rng, (1, 1, 5, 4)), 2)
+
+    def test_max_pool_overlapping_unsupported(self, rng):
+        with pytest.raises(NotImplementedError):
+            max_pool2d(_rand(rng, (1, 1, 4, 4)), 2, stride=1)
+
+    def test_avg_pool_values(self):
+        x = Tensor(np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4))
+        out = avg_pool2d(x, 2)
+        np.testing.assert_allclose(out.data[0, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_avg_pool_grad(self):
+        x = Tensor(np.ones((1, 1, 4, 4), dtype=np.float32), requires_grad=True)
+        avg_pool2d(x, 2).sum().backward()
+        np.testing.assert_allclose(x.grad, np.full((1, 1, 4, 4), 0.25))
+
+    def test_global_avg_pool(self, rng):
+        x = _rand(rng, (2, 3, 4, 4), grad=False)
+        np.testing.assert_allclose(
+            global_avg_pool2d(x).data, x.data.mean(axis=(2, 3)), rtol=1e-5
+        )
+
+
+class TestUpsample:
+    def test_values(self):
+        x = Tensor(np.array([[[[1.0, 2.0], [3.0, 4.0]]]], dtype=np.float32))
+        out = upsample_nearest2d(x, 2)
+        assert out.shape == (1, 1, 4, 4)
+        np.testing.assert_allclose(out.data[0, 0, :2, :2], 1.0)
+        np.testing.assert_allclose(out.data[0, 0, 2:, 2:], 4.0)
+
+    def test_grad_sums_block(self):
+        x = Tensor(np.ones((1, 1, 2, 2), dtype=np.float32), requires_grad=True)
+        upsample_nearest2d(x, 3).sum().backward()
+        np.testing.assert_allclose(x.grad, np.full((1, 1, 2, 2), 9.0))

@@ -1,0 +1,162 @@
+"""DFtoTorch converter: specs, formatter, streaming batches."""
+
+import numpy as np
+import pytest
+
+from repro.core.converter import (
+    ClassificationSpec,
+    DFFormatter,
+    DFToTorchConverter,
+    RowTransformer,
+    SegmentationSpec,
+    SpatiotemporalSpec,
+)
+from repro.engine import Session
+from repro.spatial import RasterTile
+from repro.tensor import Tensor
+
+
+@pytest.fixture
+def session():
+    return Session(default_parallelism=3)
+
+
+def _tile_df(session, rng, n=10, with_features=False):
+    tiles = np.empty(n, dtype=object)
+    for i in range(n):
+        tiles[i] = RasterTile(rng.random((2, 4, 4), dtype=np.float32))
+    data = {
+        "tile": tiles,
+        "label": rng.integers(0, 3, n),
+    }
+    if with_features:
+        feats = np.empty(n, dtype=object)
+        for i in range(n):
+            feats[i] = rng.random(5).astype(np.float32)
+        data["features"] = feats
+    return session.create_dataframe(data)
+
+
+class TestClassificationConversion:
+    def test_batches(self, session, rng):
+        df = _tile_df(session, rng, n=10)
+        converter = DFToTorchConverter(ClassificationSpec())
+        batches = list(converter.convert(df, batch_size=4))
+        assert [b[0].shape[0] for b in batches] == [4, 4, 2]
+        x, y = batches[0]
+        assert isinstance(x, Tensor) and isinstance(y, Tensor)
+        assert x.shape == (4, 2, 4, 4)
+        assert y.dtype == np.int64
+
+    def test_values_match_source(self, session, rng):
+        df = _tile_df(session, rng, n=6)
+        source = [r["tile"].data for r in df.collect()]
+        converter = DFToTorchConverter(ClassificationSpec())
+        xs = np.concatenate(
+            [x.numpy() for x, _ in converter.convert(df, batch_size=4)]
+        )
+        np.testing.assert_allclose(xs, np.stack(source))
+
+    def test_feature_column(self, session, rng):
+        df = _tile_df(session, rng, n=6, with_features=True)
+        converter = DFToTorchConverter(
+            ClassificationSpec(feature_column="features")
+        )
+        x, y, f = next(iter(converter.convert(df, batch_size=3)))
+        assert f.shape == (3, 5)
+
+    def test_transform_applied(self, session, rng):
+        df = _tile_df(session, rng, n=4)
+        converter = DFToTorchConverter(ClassificationSpec())
+        batches = converter.convert(
+            df, batch_size=4, transform=lambda img: img * 0
+        )
+        x, _ = next(iter(batches))
+        assert x.numpy().sum() == 0
+
+    def test_reiterable(self, session, rng):
+        df = _tile_df(session, rng, n=6)
+        stream = DFToTorchConverter(ClassificationSpec()).convert(df, batch_size=4)
+        assert len(list(stream)) == 2
+        assert len(list(stream)) == 2  # second epoch works
+
+
+class TestSegmentationConversion:
+    def test_batches(self, session, rng):
+        n = 5
+        tiles = np.empty(n, dtype=object)
+        masks = np.empty(n, dtype=object)
+        for i in range(n):
+            tiles[i] = RasterTile(rng.random((2, 4, 4), dtype=np.float32))
+            masks[i] = rng.integers(0, 2, (4, 4))
+        df = session.create_dataframe({"tile": tiles, "mask": masks})
+        converter = DFToTorchConverter(SegmentationSpec())
+        x, y = next(iter(converter.convert(df, batch_size=5)))
+        assert x.shape == (5, 2, 4, 4)
+        assert y.shape == (5, 4, 4)
+        assert y.dtype == np.int64
+
+
+class TestSpatiotemporalConversion:
+    def _sparse_df(self, session, num_steps=10, w=3, h=2):
+        rows = []
+        for t in range(num_steps):
+            rows.append({"time_step": t, "cell_id": t % (w * h), "count": float(t + 1)})
+        return session.create_dataframe(rows)
+
+    def test_frame_pairs(self, session):
+        df = self._sparse_df(session)
+        spec = SpatiotemporalSpec(partitions_x=3, partitions_y=2, lead_time=1)
+        batches = list(DFToTorchConverter(spec).convert(df, batch_size=4))
+        xs = np.concatenate([b[0].numpy() for b in batches])
+        ys = np.concatenate([b[1].numpy() for b in batches])
+        assert len(xs) == 9  # 10 frames -> 9 pairs
+        # y_t is x_{t+1}:
+        np.testing.assert_allclose(ys[:-1], xs[1:])
+
+    def test_lead_time(self, session):
+        df = self._sparse_df(session)
+        spec = SpatiotemporalSpec(partitions_x=3, partitions_y=2, lead_time=3)
+        batches = list(DFToTorchConverter(spec).convert(df, batch_size=32))
+        xs, ys = batches[0]
+        assert xs.shape[0] == 7
+        # Frame t has value (t+1) at cell t%6.
+        x0 = xs.numpy()[0]
+        y0 = ys.numpy()[0]
+        assert x0[0, 0, 0] == 1.0
+        assert y0[0, 1, 0] == 4.0  # cell 3 -> (row 1, col 0)
+
+    def test_sparse_cells_zero_filled(self, session):
+        df = session.create_dataframe(
+            [{"time_step": 0, "cell_id": 0, "count": 5.0},
+             {"time_step": 1, "cell_id": 3, "count": 7.0}]
+        )
+        spec = SpatiotemporalSpec(partitions_x=2, partitions_y=2)
+        x, y = next(iter(DFToTorchConverter(spec).convert(df, batch_size=1)))
+        assert x.numpy()[0, 0, 0, 0] == 5.0
+        assert x.numpy().sum() == 5.0
+        assert y.numpy()[0, 0, 1, 1] == 7.0
+
+    def test_formatter_orders_time(self, session):
+        rows = [
+            {"time_step": 5, "cell_id": 0, "count": 6.0},
+            {"time_step": 1, "cell_id": 0, "count": 2.0},
+            {"time_step": 3, "cell_id": 0, "count": 4.0},
+        ]
+        df = session.create_dataframe(rows)
+        spec = SpatiotemporalSpec(partitions_x=1, partitions_y=1)
+        formatted = DFFormatter(spec).format(df)
+        parts = list(formatted.iter_partitions())
+        ts = np.concatenate([p.columns["__t"] for p in parts])
+        np.testing.assert_array_equal(ts, [1, 3, 5])
+
+
+class TestRowTransformer:
+    def test_invalid_batch_size(self, session, rng):
+        df = _tile_df(session, rng, n=2)
+        with pytest.raises(ValueError):
+            RowTransformer(df, batch_size=0)
+
+    def test_unknown_spec_type(self):
+        with pytest.raises(TypeError):
+            DFFormatter(object()).format(None)

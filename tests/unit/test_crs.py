@@ -1,0 +1,57 @@
+"""CRS helpers."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Envelope, Point
+from repro.geometry.crs import (
+    EARTH_RADIUS_M,
+    EquirectangularCRS,
+    haversine_distance_m,
+)
+
+
+class TestEquirectangular:
+    def test_roundtrip(self):
+        crs = EquirectangularCRS(reference_latitude=40.7)
+        lon, lat = crs.to_degrees(*crs.to_meters(-74.0, 40.7))
+        assert lon == pytest.approx(-74.0, abs=1e-9)
+        assert lat == pytest.approx(40.7, abs=1e-9)
+
+    def test_one_degree_latitude_meters(self):
+        crs = EquirectangularCRS(reference_latitude=0.0)
+        _, y0 = crs.to_meters(0.0, 0.0)
+        _, y1 = crs.to_meters(0.0, 1.0)
+        assert y1 - y0 == pytest.approx(111_195, rel=1e-3)
+
+    def test_longitude_shrinks_with_latitude(self):
+        equator = EquirectangularCRS(0.0)
+        arctic = EquirectangularCRS(60.0)
+        dx_eq = equator.to_meters(1.0, 0.0)[0]
+        dx_arc = arctic.to_meters(1.0, 60.0)[0]
+        assert dx_arc == pytest.approx(dx_eq / 2, rel=1e-3)
+
+    def test_project_point_and_envelope(self):
+        crs = EquirectangularCRS(40.0)
+        p = crs.project_point(Point(-74.0, 40.0))
+        back = crs.unproject_point(p)
+        assert back.x == pytest.approx(-74.0)
+        env = crs.project_envelope(Envelope(-74.1, -74.0, 40.0, 40.1))
+        assert env.width > 0 and env.height > 0
+        assert env.height == pytest.approx(11_119, rel=1e-2)
+
+
+class TestHaversine:
+    def test_zero_distance(self):
+        assert haversine_distance_m(Point(10, 20), Point(10, 20)) == 0.0
+
+    def test_quarter_circumference(self):
+        d = haversine_distance_m(Point(0, 0), Point(0, 90))
+        assert d == pytest.approx(np.pi * EARTH_RADIUS_M / 2, rel=1e-6)
+
+    def test_matches_equirectangular_locally(self):
+        crs = EquirectangularCRS(40.0)
+        a, b = Point(-74.0, 40.0), Point(-74.01, 40.01)
+        pa, pb = crs.project_point(a), crs.project_point(b)
+        planar = pa.distance(pb)
+        assert planar == pytest.approx(haversine_distance_m(a, b), rel=1e-3)

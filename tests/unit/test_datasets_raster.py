@@ -1,0 +1,129 @@
+"""Raster datasets: band selection, features, transforms, caching."""
+
+import numpy as np
+import pytest
+
+from repro.core.datasets.base import RasterDataset
+from repro.core.datasets.raster import SAT4, SAT6, Cloud38, EuroSAT, SlumDetection
+
+
+@pytest.fixture
+def images(rng):
+    return rng.random((20, 5, 8, 8)).astype(np.float32)
+
+
+@pytest.fixture
+def labels(rng):
+    return rng.integers(0, 3, 20)
+
+
+class TestRasterDatasetBase:
+    def test_items(self, images, labels):
+        ds = RasterDataset(images, labels)
+        image, label = ds[3]
+        np.testing.assert_allclose(image, images[3])
+        assert label == labels[3]
+        assert len(ds) == 20
+
+    def test_band_selection(self, images, labels):
+        ds = RasterDataset(images, labels, bands=[0, 3])
+        assert ds.num_bands == 2
+        np.testing.assert_allclose(ds[0][0], images[0][[0, 3]])
+
+    def test_band_selection_out_of_range(self, images, labels):
+        with pytest.raises(ValueError, match="band"):
+            RasterDataset(images, labels, bands=[0, 9])
+
+    def test_label_count_mismatch(self, images):
+        with pytest.raises(ValueError, match="labels"):
+            RasterDataset(images, np.zeros(3))
+
+    def test_rank_check(self, labels):
+        with pytest.raises(ValueError, match="N, C, H, W"):
+            RasterDataset(np.zeros((20, 8, 8)), labels)
+
+    def test_transform(self, images, labels):
+        ds = RasterDataset(images, labels, transform=lambda img: img * 0)
+        assert ds[0][0].sum() == 0
+
+    def test_explicit_features(self, images, labels, rng):
+        feats = rng.random((20, 7)).astype(np.float32)
+        ds = RasterDataset(
+            images, labels,
+            include_additional_features=True, additional_features=feats,
+        )
+        image, label, f = ds[4]
+        np.testing.assert_allclose(f, feats[4])
+        assert ds.num_features == 7
+
+    def test_feature_count_mismatch(self, images, labels, rng):
+        with pytest.raises(ValueError, match="feature"):
+            RasterDataset(
+                images, labels,
+                include_additional_features=True,
+                additional_features=rng.random((3, 7)),
+            )
+
+    def test_auto_features(self, images, labels):
+        ds = RasterDataset(images, labels, include_additional_features=True)
+        # 6 GLCM features + 5 band means.
+        assert ds.num_features == 11
+        _, _, feats = ds[0]
+        assert np.isfinite(feats).all()
+
+    def test_no_features_property(self, images, labels):
+        assert RasterDataset(images, labels).num_features == 0
+
+
+class TestBenchmarkRasterDatasets:
+    def test_eurosat_metadata(self, dataset_root):
+        ds = EuroSAT(dataset_root, num_images=24)
+        assert ds.num_bands == 13
+        assert ds.num_classes == 10
+        assert ds.image_height == 32
+
+    def test_eurosat_custom_shape(self, tmp_path):
+        ds = EuroSAT(str(tmp_path), num_images=8, image_shape=(16, 16))
+        assert ds.image_height == 16
+
+    def test_sat_datasets(self, dataset_root):
+        sat4 = SAT4(dataset_root, num_images=16)
+        sat6 = SAT6(dataset_root, num_images=16)
+        assert sat4.num_classes == 4 and sat6.num_classes == 6
+        assert sat4.num_bands == sat6.num_bands == 4
+        assert sat4.image_height == 28
+
+    def test_slum_binary(self, dataset_root):
+        ds = SlumDetection(dataset_root, num_images=16)
+        assert set(np.unique(ds.labels)).issubset({0, 1})
+
+    def test_cloud38_masks(self, dataset_root):
+        ds = Cloud38(dataset_root, num_images=6, image_shape=(16, 16))
+        image, mask = ds[0]
+        assert image.shape == (4, 16, 16)
+        assert mask.shape == (16, 16)
+        assert set(np.unique(mask)).issubset({0, 1})
+
+    def test_cloud_pixels_brighter(self, dataset_root):
+        ds = Cloud38(dataset_root, num_images=6, image_shape=(16, 16))
+        image, mask = ds[0]
+        cloud_mean = image[:, mask == 1].mean()
+        clear_mean = image[:, mask == 0].mean()
+        assert cloud_mean > clear_mean + 0.2
+
+    def test_labels_cover_classes(self, dataset_root):
+        ds = EuroSAT(dataset_root, num_images=200)
+        assert len(np.unique(ds.labels)) == 10
+
+    def test_values_in_unit_range(self, dataset_root):
+        ds = EuroSAT(dataset_root, num_images=24)
+        assert ds.images.min() >= 0.0 and ds.images.max() <= 1.0
+
+    def test_cache_reload(self, dataset_root):
+        a = SAT4(dataset_root, num_images=16)
+        b = SAT4(dataset_root, num_images=16)
+        np.testing.assert_allclose(a.images, b.images)
+
+    def test_download_false(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            SAT4(str(tmp_path), num_images=16, download=False)

@@ -1,0 +1,93 @@
+"""JSON-lines scan/write."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.engine import Session
+from repro.engine.io_jsonl import (
+    infer_jsonl_schema,
+    read_jsonl,
+    write_jsonl,
+)
+
+
+@pytest.fixture
+def jsonl_file(tmp_path):
+    path = tmp_path / "data.jsonl"
+    lines = [
+        json.dumps({"id": i, "score": i * 0.5, "name": f"row{i}",
+                    "flag": i % 2 == 0})
+        for i in range(15)
+    ]
+    path.write_text("\n".join(lines) + "\n")
+    return str(path)
+
+
+class TestSchema:
+    def test_inferred_types(self, jsonl_file):
+        schema = infer_jsonl_schema(jsonl_file)
+        assert schema["id"].dtype == np.int64
+        assert schema["score"].dtype == np.float64
+        assert schema["name"].dtype == object
+        assert schema["flag"].dtype == bool
+
+    def test_int_float_promotion(self, tmp_path):
+        path = tmp_path / "mixed.jsonl"
+        path.write_text('{"v": 1}\n{"v": 2.5}\n')
+        schema = infer_jsonl_schema(str(path))
+        assert schema["v"].dtype == np.float64
+
+    def test_empty_rejected(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("\n")
+        with pytest.raises(ValueError):
+            infer_jsonl_schema(str(path))
+
+
+class TestScan:
+    def test_values(self, jsonl_file):
+        session = Session()
+        df = read_jsonl(session, jsonl_file)
+        rows = df.collect()
+        assert len(rows) == 15
+        assert rows[4]["id"] == 4
+        assert rows[4]["score"] == 2.0
+        assert rows[4]["flag"] == np.True_
+
+    def test_partitioned(self, jsonl_file):
+        session = Session()
+        df = read_jsonl(session, jsonl_file, rows_per_partition=4)
+        assert df.num_partitions() == 4
+        assert df.count() == 15
+
+    def test_missing_keys_become_none(self, tmp_path):
+        path = tmp_path / "sparse.jsonl"
+        path.write_text('{"a": 1, "b": "x"}\n{"a": 2}\n')
+        session = Session()
+        rows = read_jsonl(session, str(path)).collect()
+        assert rows[1]["b"] is None
+
+
+class TestWrite:
+    def test_roundtrip(self, tmp_path):
+        session = Session(default_parallelism=3)
+        df = session.create_dataframe(
+            {"a": np.arange(7), "b": np.arange(7) * 1.5}
+        )
+        out = str(tmp_path / "out.jsonl")
+        assert write_jsonl(df, out) == 7
+        again = read_jsonl(session, out)
+        assert [r["a"] for r in again.collect()] == list(range(7))
+
+    def test_numpy_scalars_serialized(self, tmp_path):
+        session = Session()
+        df = session.create_dataframe(
+            {"i": np.array([1], dtype=np.int32),
+             "f": np.array([2.5], dtype=np.float32)}
+        )
+        out = str(tmp_path / "types.jsonl")
+        write_jsonl(df, out)
+        record = json.loads(open(out).readline())
+        assert record == {"i": 1, "f": 2.5}

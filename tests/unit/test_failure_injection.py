@@ -1,0 +1,137 @@
+"""Failure injection: corrupted files, malformed rows, hostile inputs.
+
+The system should fail loudly and precisely, never silently corrupt.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.datasets.grid import BikeNYCDeepSTN
+from repro.engine import Session
+from repro.spatial import RasterTile, load_raster_folder, read_rtif, write_rtif
+from repro.spatial.raster_io import RTIF_EXTENSION
+
+
+class TestCorruptRasterFiles:
+    def test_truncated_rtif(self, tmp_path):
+        tile = RasterTile(np.zeros((1, 4, 4), dtype=np.float32))
+        path = write_rtif(tile, str(tmp_path / "tile"))
+        with open(path, "r+b") as handle:
+            handle.truncate(20)
+        with pytest.raises(Exception):
+            read_rtif(path)
+
+    def test_garbage_rtif(self, tmp_path):
+        path = str(tmp_path / "junk") + RTIF_EXTENSION
+        with open(path, "wb") as handle:
+            handle.write(b"this is not a numpy archive")
+        with pytest.raises(Exception):
+            read_rtif(path)
+
+    def test_corrupt_tile_in_folder_fails_scan(self, tmp_path):
+        folder = str(tmp_path / "tiles")
+        os.makedirs(folder)
+        write_rtif(
+            RasterTile(np.zeros((1, 2, 2), dtype=np.float32), name="good"),
+            os.path.join(folder, "good"),
+        )
+        bad = os.path.join(folder, "zbad") + RTIF_EXTENSION
+        with open(bad, "wb") as handle:
+            handle.write(b"junk")
+        session = Session()
+        df = load_raster_folder(session, folder, tiles_per_partition=1)
+        with pytest.raises(Exception):
+            df.collect()
+
+    def test_rtif_missing_bands_axis(self, tmp_path):
+        # Writing hand-rolled archives without the 3D contract fails
+        # at construction, not deep inside training.
+        path = str(tmp_path / "flat") + RTIF_EXTENSION
+        np.savez_compressed(
+            path.removesuffix(".npz"),
+            data=np.zeros((4, 4), dtype=np.float32),
+            meta=np.frombuffer(b"{}", dtype=np.uint8),
+        )
+        with pytest.raises(ValueError, match="bands"):
+            read_rtif(path)
+
+
+class TestMalformedCsv:
+    def test_bad_row_inside_sample_widens_type(self, tmp_path):
+        # A malformed value within the inference sample degrades the
+        # column to object (graceful) rather than raising later.
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1,2.0\nnot_a_number,3.0\n")
+        session = Session()
+        rows = session.read_csv(str(path)).collect()
+        assert rows[1]["a"] == "not_a_number"
+
+    def test_bad_row_beyond_sample_raises(self, tmp_path):
+        # Inference typed the column from clean leading rows; a
+        # malformed value later must raise during the scan, not
+        # silently become garbage.
+        path = tmp_path / "bad_tail.csv"
+        lines = ["a,b"] + [f"{i},{i}.0" for i in range(150)]
+        lines.append("not_a_number,3.0")
+        path.write_text("\n".join(lines) + "\n")
+        session = Session()
+        df = session.read_csv(str(path))
+        with pytest.raises(ValueError):
+            df.collect()
+
+    def test_ragged_row(self, tmp_path):
+        path = tmp_path / "ragged.csv"
+        path.write_text("a,b\n1,2\n3\n")
+        session = Session()
+        df = session.read_csv(str(path))
+        with pytest.raises(Exception):
+            df.collect()
+
+
+class TestCorruptDatasetCache:
+    def test_corrupt_npz_detected(self, tmp_path):
+        root = str(tmp_path)
+        ds = BikeNYCDeepSTN(root, num_steps=50)
+        data_path = os.path.join(root, "bike_nyc_deepstn", "data.npz")
+        with open(data_path, "wb") as handle:
+            handle.write(b"corrupted")
+        with pytest.raises(Exception):
+            BikeNYCDeepSTN(root, num_steps=50)
+
+    def test_stale_config_triggers_regeneration(self, tmp_path):
+        root = str(tmp_path)
+        BikeNYCDeepSTN(root, num_steps=50)
+        config_path = os.path.join(root, "bike_nyc_deepstn", "config.json")
+        with open(config_path, "w") as handle:
+            handle.write('{"something": "else"}')
+        # Mismatched config regenerates instead of loading stale data.
+        ds = BikeNYCDeepSTN(root, num_steps=60)
+        assert ds.num_timesteps == 60
+
+
+class TestHostileModelInputs:
+    def test_nan_input_propagates_not_crashes(self, rng):
+        from repro.core.models.raster import SatCNN
+        from repro.tensor import Tensor
+
+        model = SatCNN(2, 8, 8, 3, base_filters=4, rng=0)
+        model.eval()
+        x = np.full((1, 2, 8, 8), np.nan, dtype=np.float32)
+        out = model(Tensor(x))
+        assert np.isnan(out.data).any()
+
+    def test_inf_gradient_is_finite_after_clip(self):
+        from repro.tensor import Tensor
+
+        t = Tensor(np.array([1e30], dtype=np.float32), requires_grad=True)
+        clipped = t.clip(-1e6, 1e6)
+        (clipped * 2).sum().backward()
+        assert np.isfinite(t.grad).all()
+
+    def test_zero_length_batch_rejected_by_collate(self):
+        from repro.data import default_collate
+
+        with pytest.raises(IndexError):
+            default_collate([])

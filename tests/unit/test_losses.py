@@ -1,0 +1,131 @@
+"""Loss functions vs manual references, with gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import functional as F
+from repro.tensor import Tensor
+
+from tests.conftest import assert_grad_close, numeric_gradient
+
+
+class TestMSE:
+    def test_value(self):
+        loss = nn.MSELoss()(Tensor([1.0, 2.0]), Tensor([3.0, 2.0]))
+        assert loss.item() == pytest.approx(2.0)
+
+    def test_accepts_numpy_target(self):
+        loss = nn.MSELoss()(Tensor([1.0]), np.array([2.0], dtype=np.float32))
+        assert loss.item() == pytest.approx(1.0)
+
+    def test_grad(self):
+        pred = Tensor([1.0, 2.0], requires_grad=True)
+        nn.MSELoss()(pred, Tensor([0.0, 0.0])).backward()
+        np.testing.assert_allclose(pred.grad, [1.0, 2.0])
+
+
+class TestL1:
+    def test_value(self):
+        loss = nn.L1Loss()(Tensor([1.0, -2.0]), Tensor([0.0, 0.0]))
+        assert loss.item() == pytest.approx(1.5)
+
+    def test_grad_sign(self):
+        pred = Tensor([2.0, -3.0], requires_grad=True)
+        nn.L1Loss()(pred, Tensor([0.0, 0.0])).backward()
+        np.testing.assert_allclose(pred.grad, [0.5, -0.5])
+
+
+class TestCrossEntropy:
+    def test_matches_manual(self, rng):
+        logits = rng.random((4, 5)).astype(np.float32)
+        labels = np.array([0, 2, 4, 1])
+        loss = nn.CrossEntropyLoss()(Tensor(logits), labels).item()
+        # Manual: -log softmax picked.
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        logp = shifted - np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+        manual = -logp[np.arange(4), labels].mean()
+        assert loss == pytest.approx(manual, rel=1e-5)
+
+    def test_perfect_prediction_low_loss(self):
+        logits = np.full((2, 3), -20.0, dtype=np.float32)
+        logits[0, 1] = 20.0
+        logits[1, 0] = 20.0
+        loss = nn.CrossEntropyLoss()(Tensor(logits), np.array([1, 0]))
+        assert loss.item() < 1e-4
+
+    def test_gradcheck(self, rng):
+        logits = Tensor(rng.random((3, 4)).astype(np.float32), requires_grad=True)
+        labels = np.array([1, 0, 3])
+
+        def fn():
+            return nn.CrossEntropyLoss()(logits, labels)
+
+        fn().backward()
+        assert_grad_close(logits.grad, numeric_gradient(fn, logits))
+
+    def test_segmentation_logits(self, rng):
+        logits = Tensor(
+            rng.random((2, 3, 4, 4)).astype(np.float32), requires_grad=True
+        )
+        masks = rng.integers(0, 3, (2, 4, 4))
+        loss = nn.CrossEntropyLoss()(logits, masks)
+        loss.backward()
+        assert logits.grad.shape == logits.shape
+        assert loss.item() > 0
+
+    def test_numerical_stability_large_logits(self):
+        logits = Tensor(np.array([[1000.0, -1000.0]], dtype=np.float32))
+        loss = nn.CrossEntropyLoss()(logits, np.array([0]))
+        assert np.isfinite(loss.item())
+
+    def test_unsupported_rank(self, rng):
+        with pytest.raises(ValueError):
+            nn.CrossEntropyLoss()(
+                Tensor(rng.random((2, 3, 4)).astype(np.float32)),
+                np.zeros((2, 4), dtype=np.int64),
+            )
+
+
+class TestBCEWithLogits:
+    def test_matches_manual(self, rng):
+        logits = rng.standard_normal(10).astype(np.float32)
+        targets = rng.integers(0, 2, 10).astype(np.float32)
+        loss = nn.BCEWithLogitsLoss()(Tensor(logits), Tensor(targets)).item()
+        p = 1 / (1 + np.exp(-logits))
+        manual = -(targets * np.log(p) + (1 - targets) * np.log(1 - p)).mean()
+        assert loss == pytest.approx(manual, rel=1e-4)
+
+    def test_stable_extreme_logits(self):
+        loss = nn.BCEWithLogitsLoss()(
+            Tensor([1000.0, -1000.0]), Tensor([1.0, 0.0])
+        )
+        assert loss.item() == pytest.approx(0.0, abs=1e-5)
+
+    def test_gradcheck(self, rng):
+        logits = Tensor(rng.standard_normal(6).astype(np.float32), requires_grad=True)
+        targets = Tensor(rng.integers(0, 2, 6).astype(np.float32))
+
+        def fn():
+            return nn.BCEWithLogitsLoss()(logits, targets)
+
+        fn().backward()
+        assert_grad_close(logits.grad, numeric_gradient(fn, logits))
+
+
+class TestFunctionalExtras:
+    def test_log_softmax_consistent(self, rng):
+        x = Tensor(rng.random((3, 4)).astype(np.float32))
+        np.testing.assert_allclose(
+            F.log_softmax(x).data,
+            np.log(F.softmax(x).data),
+            rtol=1e-4, atol=1e-6,
+        )
+
+    def test_one_hot(self):
+        out = F.one_hot(np.array([0, 2]), 3)
+        np.testing.assert_allclose(out, [[1, 0, 0], [0, 0, 1]])
+
+    def test_one_hot_2d(self):
+        out = F.one_hot(np.zeros((2, 2), dtype=int), 2)
+        assert out.shape == (2, 2, 2)

@@ -1,0 +1,145 @@
+"""Save/load roundtrips for the full model zoo."""
+
+import numpy as np
+import pytest
+
+from repro.core.models.grid import (
+    ConvLSTMModel,
+    DeepSTNPlus,
+    PeriodicalCNN,
+    STResNet,
+)
+from repro.core.models.raster import (
+    FCN,
+    DeepSat,
+    DeepSatV2,
+    SatCNN,
+    UNet,
+    UNetPlusPlus,
+)
+from repro.tensor import Tensor
+
+
+def _roundtrip(make_model, forward, tmp_path):
+    """Train-free determinism check: fresh weights -> save -> load into
+    a second instance -> identical outputs."""
+    src = make_model()
+    path = str(tmp_path / "model.npz")
+    src.save(path)
+    dst = make_model()
+    dst.load(path)
+    src.eval()
+    dst.eval()
+    np.testing.assert_allclose(
+        forward(src).data, forward(dst).data, rtol=1e-6
+    )
+
+
+H, W, C = 8, 8, 2
+
+
+@pytest.fixture
+def periodical(rng):
+    return (
+        Tensor(rng.random((2, 3 * C, H, W), dtype=np.float32)),
+        Tensor(rng.random((2, 2 * C, H, W), dtype=np.float32)),
+        Tensor(rng.random((2, 1 * C, H, W), dtype=np.float32)),
+    )
+
+
+class TestGridModelSerialization:
+    def test_periodical_cnn(self, tmp_path, periodical):
+        _roundtrip(
+            lambda: PeriodicalCNN(3, 2, 1, C, rng=5),
+            lambda m: m(*periodical),
+            tmp_path,
+        )
+
+    def test_st_resnet(self, tmp_path, periodical):
+        _roundtrip(
+            lambda: STResNet(3, 2, 1, C, H, W, nb_filters=8, rng=5),
+            lambda m: m(*periodical),
+            tmp_path,
+        )
+
+    def test_deepstn(self, tmp_path, periodical):
+        _roundtrip(
+            lambda: DeepSTNPlus(3, 2, 1, C, grid_height=H, grid_width=W,
+                                nb_filters=8, nb_blocks=1, rng=5),
+            lambda m: m(*periodical),
+            tmp_path,
+        )
+
+    def test_convlstm(self, tmp_path, rng):
+        seq = Tensor(rng.random((2, 4, C, H, W), dtype=np.float32))
+        _roundtrip(
+            lambda: ConvLSTMModel(C, (6,), rng=5),
+            lambda m: m(seq),
+            tmp_path,
+        )
+
+
+class TestRasterModelSerialization:
+    def test_sat_cnn(self, tmp_path, rng):
+        x = Tensor(rng.random((2, 4, 16, 16), dtype=np.float32))
+        _roundtrip(
+            lambda: SatCNN(4, 16, 16, 5, base_filters=8, rng=5),
+            lambda m: m(x),
+            tmp_path,
+        )
+
+    def test_deepsat(self, tmp_path, rng):
+        feats = Tensor(rng.random((2, 10), dtype=np.float32))
+        _roundtrip(
+            lambda: DeepSat(10, 4, rng=5),
+            lambda m: m(feats),
+            tmp_path,
+        )
+
+    def test_deepsat_v2(self, tmp_path, rng):
+        x = Tensor(rng.random((2, 4, 16, 16), dtype=np.float32))
+        f = Tensor(rng.random((2, 6), dtype=np.float32))
+        _roundtrip(
+            lambda: DeepSatV2(4, 16, 16, 5, num_filtered_features=6, rng=5),
+            lambda m: m(x, f),
+            tmp_path,
+        )
+
+    @pytest.mark.parametrize("cls", [FCN, UNet, UNetPlusPlus])
+    def test_segmentation_models(self, cls, tmp_path, rng):
+        x = Tensor(rng.random((1, 4, 16, 16), dtype=np.float32))
+        _roundtrip(
+            lambda: cls(4, 2, rng=5),
+            lambda m: m(x),
+            tmp_path,
+        )
+
+    def test_cross_architecture_load_fails(self, tmp_path):
+        unet = UNet(4, 2, rng=0)
+        path = str(tmp_path / "unet.npz")
+        unet.save(path)
+        fcn = FCN(4, 2, rng=0)
+        with pytest.raises(KeyError):
+            fcn.load(path)
+
+    def test_weights_persist_after_training_step(self, tmp_path, rng):
+        from repro.nn import CrossEntropyLoss
+        from repro.optim import Adam
+
+        model = SatCNN(2, 8, 8, 3, base_filters=4, rng=1)
+        x = Tensor(rng.random((4, 2, 8, 8), dtype=np.float32))
+        labels = rng.integers(0, 3, 4)
+        opt = Adam(model.parameters(), lr=1e-3)
+        loss = CrossEntropyLoss()(model(x), labels)
+        opt.zero_grad()
+        loss.backward()
+        opt.step()
+        path = str(tmp_path / "trained.npz")
+        model.save(path)
+        clone = SatCNN(2, 8, 8, 3, base_filters=4, rng=99)
+        clone.load(path)
+        model.eval()
+        clone.eval()
+        np.testing.assert_allclose(
+            model(x).data, clone(x).data, rtol=1e-6
+        )

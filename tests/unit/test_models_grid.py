@@ -1,0 +1,171 @@
+"""Grid models: shapes, gradient flow, tiny-overfit sanity."""
+
+import numpy as np
+import pytest
+
+from repro.core.models.grid import (
+    ConvLSTMModel,
+    DeepSTNPlus,
+    PeriodicalCNN,
+    STResNet,
+)
+from repro.nn import MSELoss
+from repro.optim import Adam
+from repro.tensor import Tensor
+
+H, W, C = 6, 8, 2
+
+
+@pytest.fixture
+def periodical_inputs(rng):
+    return (
+        Tensor(rng.random((4, 3 * C, H, W), dtype=np.float32)),
+        Tensor(rng.random((4, 2 * C, H, W), dtype=np.float32)),
+        Tensor(rng.random((4, 1 * C, H, W), dtype=np.float32)),
+    )
+
+
+def _overfits(model, forward, target_shape, rng, steps=150, tol=0.03):
+    """A model should be able to memorize one small batch."""
+    target = Tensor(rng.random(target_shape, dtype=np.float32) * 0.5)
+    opt = Adam(model.parameters(), lr=5e-3)
+    loss_fn = MSELoss()
+    loss = None
+    for _ in range(steps):
+        loss = loss_fn(forward(), target)
+        opt.zero_grad()
+        loss.backward()
+        opt.step()
+    return loss.item() < tol
+
+
+class TestPeriodicalCNN:
+    def test_output_shape(self, periodical_inputs):
+        model = PeriodicalCNN(3, 2, 1, C, rng=0)
+        out = model(*periodical_inputs)
+        assert out.shape == (4, C, H, W)
+
+    def test_gradients_reach_all_params(self, periodical_inputs):
+        model = PeriodicalCNN(3, 2, 1, C, rng=0)
+        model(*periodical_inputs).sum().backward()
+        assert all(p.grad is not None for p in model.parameters())
+
+    def test_overfits_small_batch(self, periodical_inputs, rng):
+        model = PeriodicalCNN(3, 2, 1, C, hidden_channels=24, rng=0)
+        assert _overfits(
+            model, lambda: model(*periodical_inputs), (4, C, H, W), rng
+        )
+
+
+class TestConvLSTMModel:
+    def test_single_frame_output(self, rng):
+        model = ConvLSTMModel(C, (8,), prediction_length=1, rng=0)
+        x = Tensor(rng.random((3, 5, C, H, W), dtype=np.float32))
+        assert model(x).shape == (3, C, H, W)
+
+    def test_multi_frame_output(self, rng):
+        model = ConvLSTMModel(C, (8,), prediction_length=3, rng=0)
+        x = Tensor(rng.random((2, 5, C, H, W), dtype=np.float32))
+        assert model(x).shape == (2, 3, C, H, W)
+
+    def test_stacked_layers(self, rng):
+        model = ConvLSTMModel(C, (8, 6), rng=0)
+        x = Tensor(rng.random((2, 4, C, H, W), dtype=np.float32))
+        assert model(x).shape == (2, C, H, W)
+
+    def test_gradients_flow(self, rng):
+        model = ConvLSTMModel(C, (6,), rng=0)
+        x = Tensor(rng.random((2, 4, C, H, W), dtype=np.float32))
+        model(x).sum().backward()
+        assert all(p.grad is not None for p in model.parameters())
+
+
+class TestSTResNet:
+    def _model(self, **kwargs):
+        defaults = dict(
+            len_closeness=3, len_period=2, len_trend=1, nb_channels=C,
+            grid_height=H, grid_width=W, nb_residual_units=2,
+            nb_filters=8, rng=0,
+        )
+        defaults.update(kwargs)
+        return STResNet(**defaults)
+
+    def test_output_shape_and_range(self, periodical_inputs):
+        out = self._model()(*periodical_inputs)
+        assert out.shape == (4, C, H, W)
+        assert np.abs(out.data).max() <= 1.0  # tanh head
+
+    def test_fusion_weights_trainable(self, periodical_inputs):
+        model = self._model()
+        model(*periodical_inputs).sum().backward()
+        assert model.w_closeness.grad is not None
+        assert model.w_period.grad is not None
+        assert model.w_trend.grad is not None
+
+    def test_external_features(self, periodical_inputs, rng):
+        model = self._model(external_dim=5)
+        ext = Tensor(rng.random((4, 5), dtype=np.float32))
+        out = model(*periodical_inputs, external=ext)
+        assert out.shape == (4, C, H, W)
+
+    def test_external_required_when_configured(self, periodical_inputs):
+        model = self._model(external_dim=5)
+        with pytest.raises(ValueError, match="external"):
+            model(*periodical_inputs)
+
+    def test_residual_units_count(self):
+        shallow = self._model(nb_residual_units=1)
+        deep = self._model(nb_residual_units=4)
+        assert deep.num_parameters() > shallow.num_parameters()
+
+    def test_overfits_small_batch(self, periodical_inputs, rng):
+        model = self._model(nb_filters=12)
+        assert _overfits(
+            model, lambda: model(*periodical_inputs), (4, C, H, W), rng
+        )
+
+
+class TestDeepSTNPlus:
+    def _model(self, **kwargs):
+        defaults = dict(
+            len_closeness=3, len_period=2, len_trend=1, nb_channels=C,
+            grid_height=H, grid_width=W, nb_filters=16, nb_blocks=1, rng=0,
+        )
+        defaults.update(kwargs)
+        return DeepSTNPlus(**defaults)
+
+    def test_output_shape(self, periodical_inputs):
+        assert self._model()(*periodical_inputs).shape == (4, C, H, W)
+
+    def test_context_maps_trainable(self, periodical_inputs):
+        model = self._model()
+        model(*periodical_inputs).sum().backward()
+        assert model.context.grad is not None
+        assert model.out_weight.grad is not None
+        assert model.out_bias.grad is not None
+
+    def test_external_features(self, periodical_inputs, rng):
+        model = self._model(external_dim=4)
+        ext = Tensor(rng.random((4, 4), dtype=np.float32))
+        assert model(*periodical_inputs, external=ext).shape == (4, C, H, W)
+        with pytest.raises(ValueError, match="external"):
+            model(*periodical_inputs)
+
+    def test_global_pathway_sees_whole_grid(self, periodical_inputs, rng):
+        """Changing one far-away pixel shifts every output pixel via
+        the ConvPlus global branch (a 1-block local CNN could not)."""
+        model = self._model(nb_blocks=1)
+        xc, xp, xt = periodical_inputs
+        base = model(xc, xp, xt).data.copy()
+        bumped = xc.data.copy()
+        bumped[:, :, 0, 0] += 10.0
+        out = model(Tensor(bumped), xp, xt).data
+        delta = np.abs(out - base)
+        # The farthest corner moved too, beyond any 2-conv receptive field.
+        assert delta[:, :, -1, -1].max() > 1e-6
+
+    def test_overfits_small_batch(self, periodical_inputs, rng):
+        model = self._model(nb_filters=16, nb_blocks=1)
+        assert _overfits(
+            model, lambda: model(*periodical_inputs), (4, C, H, W), rng
+        )

@@ -1,0 +1,249 @@
+"""Module system, layers, and their train/eval behavior."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.tensor import Tensor
+
+
+class TestModuleRegistration:
+    def test_parameters_found_recursively(self):
+        net = nn.Sequential(nn.Linear(4, 8), nn.ReLU(), nn.Linear(8, 2))
+        names = [name for name, _ in net.named_parameters()]
+        assert "0.weight" in names
+        assert "2.bias" in names
+        assert len(list(net.parameters())) == 4
+
+    def test_num_parameters(self):
+        layer = nn.Linear(4, 3)
+        assert layer.num_parameters() == 4 * 3 + 3
+
+    def test_buffers_tracked(self):
+        bn = nn.BatchNorm2d(4)
+        buffer_names = [name for name, _ in bn.named_buffers()]
+        assert "running_mean" in buffer_names
+        assert "running_var" in buffer_names
+        # Buffers are not trainable parameters.
+        param_names = [name for name, _ in bn.named_parameters()]
+        assert "running_mean" not in param_names
+
+    def test_reassignment_replaces(self):
+        layer = nn.Linear(2, 2)
+        old = layer.weight
+        layer.weight = nn.Parameter(np.zeros((2, 2)))
+        params = dict(layer.named_parameters())
+        assert params["weight"] is not old
+
+    def test_modules_iterator(self):
+        net = nn.Sequential(nn.Linear(2, 2), nn.Sequential(nn.Linear(2, 2)))
+        assert len(list(net.modules())) == 4  # outer, lin, inner seq, lin
+
+    def test_train_eval_recursive(self):
+        net = nn.Sequential(nn.Dropout(0.5), nn.Sequential(nn.Dropout(0.5)))
+        net.eval()
+        assert all(not m.training for m in net.modules())
+        net.train()
+        assert all(m.training for m in net.modules())
+
+    def test_zero_grad(self):
+        layer = nn.Linear(2, 2)
+        x = Tensor(np.ones((1, 2), dtype=np.float32))
+        (layer(x) ** 2).sum().backward()
+        assert layer.weight.grad is not None
+        layer.zero_grad()
+        assert layer.weight.grad is None
+
+    def test_repr_tree(self):
+        net = nn.Sequential(nn.Linear(2, 2))
+        assert "Linear" in repr(net)
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        src = nn.Sequential(nn.Linear(3, 4), nn.ReLU(), nn.Linear(4, 2))
+        dst = nn.Sequential(nn.Linear(3, 4), nn.ReLU(), nn.Linear(4, 2))
+        dst.load_state_dict(src.state_dict())
+        x = Tensor(np.ones((2, 3), dtype=np.float32))
+        np.testing.assert_allclose(src(x).data, dst(x).data)
+
+    def test_missing_key_rejected(self):
+        layer = nn.Linear(2, 2)
+        state = layer.state_dict()
+        del state["bias"]
+        with pytest.raises(KeyError, match="missing"):
+            layer.load_state_dict(state)
+
+    def test_unexpected_key_rejected(self):
+        layer = nn.Linear(2, 2)
+        state = layer.state_dict()
+        state["extra"] = np.zeros(1)
+        with pytest.raises(KeyError, match="unexpected"):
+            layer.load_state_dict(state)
+
+    def test_shape_mismatch_rejected(self):
+        layer = nn.Linear(2, 2)
+        state = layer.state_dict()
+        state["weight"] = np.zeros((3, 3))
+        with pytest.raises(ValueError, match="shape"):
+            layer.load_state_dict(state)
+
+    def test_save_load_file(self, tmp_path):
+        src = nn.Linear(3, 2)
+        path = str(tmp_path / "model.npz")
+        src.save(path)
+        dst = nn.Linear(3, 2)
+        dst.load(path)
+        np.testing.assert_allclose(src.weight.data, dst.weight.data)
+
+    def test_batchnorm_buffers_in_state(self):
+        bn = nn.BatchNorm2d(3)
+        assert "running_mean" in bn.state_dict()
+
+
+class TestLinear:
+    def test_forward_shape(self):
+        layer = nn.Linear(5, 3)
+        assert layer(Tensor(np.ones((4, 5), dtype=np.float32))).shape == (4, 3)
+
+    def test_batched_input(self):
+        layer = nn.Linear(5, 3)
+        out = layer(Tensor(np.ones((2, 4, 5), dtype=np.float32)))
+        assert out.shape == (2, 4, 3)
+
+    def test_wrong_features_rejected(self):
+        with pytest.raises(ValueError, match="last dim"):
+            nn.Linear(5, 3)(Tensor(np.ones((4, 4), dtype=np.float32)))
+
+    def test_no_bias(self):
+        layer = nn.Linear(2, 2, bias=False)
+        assert layer.bias is None
+        assert len(list(layer.parameters())) == 1
+
+    def test_deterministic_with_seed(self):
+        a = nn.Linear(4, 4, rng=7)
+        b = nn.Linear(4, 4, rng=7)
+        np.testing.assert_allclose(a.weight.data, b.weight.data)
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            nn.Linear(0, 2)
+
+
+class TestConvLayers:
+    def test_conv2d_shape(self):
+        layer = nn.Conv2d(3, 8, 3, padding=1)
+        out = layer(Tensor(np.zeros((2, 3, 6, 6), dtype=np.float32)))
+        assert out.shape == (2, 8, 6, 6)
+
+    def test_conv_transpose_shape(self):
+        layer = nn.ConvTranspose2d(4, 2, 2, stride=2)
+        out = layer(Tensor(np.zeros((1, 4, 3, 3), dtype=np.float32)))
+        assert out.shape == (1, 2, 6, 6)
+
+    def test_conv_param_validation(self):
+        with pytest.raises(ValueError):
+            nn.Conv2d(3, 8, 3, padding=-1)
+        with pytest.raises(ValueError):
+            nn.Conv2d(3, 8, 0)
+
+
+class TestNormalization:
+    def test_batchnorm_normalizes_in_train(self):
+        bn = nn.BatchNorm2d(2)
+        x = Tensor(np.random.default_rng(0).normal(5, 3, (8, 2, 4, 4)).astype(np.float32))
+        out = bn(x)
+        assert abs(out.data.mean()) < 1e-4
+        assert abs(out.data.std() - 1.0) < 1e-2
+
+    def test_batchnorm_running_stats_updated(self):
+        bn = nn.BatchNorm2d(1, momentum=0.5)
+        x = Tensor(np.full((2, 1, 2, 2), 4.0, dtype=np.float32))
+        bn(x)
+        assert bn.running_mean.data[0] == pytest.approx(2.0)
+
+    def test_batchnorm_eval_uses_running(self):
+        bn = nn.BatchNorm2d(1)
+        bn.running_mean.data[:] = 1.0
+        bn.running_var.data[:] = 4.0
+        bn.eval()
+        x = Tensor(np.full((1, 1, 1, 1), 5.0, dtype=np.float32))
+        out = bn(x)
+        assert out.data.flat[0] == pytest.approx((5 - 1) / 2, rel=1e-3)
+
+    def test_batchnorm_rejects_bad_rank(self):
+        with pytest.raises(ValueError):
+            nn.BatchNorm2d(2)(Tensor(np.zeros((2, 2), dtype=np.float32)))
+
+    def test_batchnorm_rejects_bad_channels(self):
+        with pytest.raises(ValueError):
+            nn.BatchNorm2d(2)(Tensor(np.zeros((1, 3, 2, 2), dtype=np.float32)))
+
+    def test_layernorm(self):
+        ln = nn.LayerNorm(8)
+        x = Tensor(np.random.default_rng(0).normal(2, 5, (4, 8)).astype(np.float32))
+        out = ln(x)
+        np.testing.assert_allclose(out.data.mean(axis=-1), 0.0, atol=1e-4)
+
+
+class TestDropout:
+    def test_train_drops_and_scales(self):
+        drop = nn.Dropout(0.5, rng=0)
+        x = Tensor(np.ones((1000,), dtype=np.float32))
+        out = drop(x).data
+        zero_fraction = (out == 0).mean()
+        assert 0.4 < zero_fraction < 0.6
+        # Surviving values are scaled by 1/(1-p).
+        assert set(np.unique(out)).issubset({0.0, 2.0})
+
+    def test_eval_is_identity(self):
+        drop = nn.Dropout(0.9, rng=0)
+        drop.eval()
+        x = Tensor(np.ones((10,), dtype=np.float32))
+        np.testing.assert_allclose(drop(x).data, 1.0)
+
+    def test_p_zero_identity(self):
+        drop = nn.Dropout(0.0)
+        x = Tensor(np.ones((10,), dtype=np.float32))
+        assert drop(x) is x
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            nn.Dropout(1.5)
+
+
+class TestActivations:
+    def test_relu(self):
+        out = nn.ReLU()(Tensor([-1.0, 2.0]))
+        assert out.data.tolist() == [0.0, 2.0]
+
+    def test_leaky_relu(self):
+        out = nn.LeakyReLU(0.1)(Tensor([-10.0, 5.0]))
+        np.testing.assert_allclose(out.data, [-1.0, 5.0])
+
+    def test_sigmoid_range(self):
+        out = nn.Sigmoid()(Tensor([-100.0, 0.0, 100.0]))
+        np.testing.assert_allclose(out.data, [0.0, 0.5, 1.0], atol=1e-6)
+
+    def test_tanh(self):
+        assert nn.Tanh()(Tensor([0.0])).item() == 0.0
+
+    def test_softmax_sums_to_one(self):
+        out = nn.Softmax(axis=1)(Tensor(np.random.default_rng(0).random((3, 5)).astype(np.float32)))
+        np.testing.assert_allclose(out.data.sum(axis=1), 1.0, rtol=1e-5)
+
+
+class TestContainers:
+    def test_sequential_indexing(self):
+        net = nn.Sequential(nn.Linear(2, 2), nn.ReLU())
+        assert len(net) == 2
+        assert isinstance(net[1], nn.ReLU)
+        assert len(list(iter(net))) == 2
+
+    def test_module_list(self):
+        layers = nn.ModuleList([nn.Linear(2, 2), nn.Linear(2, 2)])
+        layers.append(nn.Linear(2, 2))
+        assert len(layers) == 3
+        assert len(list(layers[0].parameters())) == 2
+        # Registered: parent sees all 6 parameters.
+        assert len(list(layers.parameters())) == 6

@@ -1,0 +1,118 @@
+"""Optimizers: update math and convergence."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.module import Parameter
+from repro.optim import SGD, Adam, StepLR
+from repro.tensor import Tensor
+
+
+def _param(values):
+    return Parameter(np.asarray(values, dtype=np.float32))
+
+
+class TestSGD:
+    def test_basic_step(self):
+        p = _param([1.0])
+        p.grad = np.array([0.5], dtype=np.float32)
+        SGD([p], lr=0.1).step()
+        assert p.data[0] == pytest.approx(0.95)
+
+    def test_momentum_accumulates(self):
+        p = _param([0.0])
+        opt = SGD([p], lr=1.0, momentum=0.9)
+        p.grad = np.array([1.0], dtype=np.float32)
+        opt.step()  # v=1, p=-1
+        p.grad = np.array([1.0], dtype=np.float32)
+        opt.step()  # v=1.9, p=-2.9
+        assert p.data[0] == pytest.approx(-2.9)
+
+    def test_weight_decay(self):
+        p = _param([1.0])
+        p.grad = np.array([0.0], dtype=np.float32)
+        SGD([p], lr=0.1, weight_decay=0.5).step()
+        assert p.data[0] == pytest.approx(0.95)
+
+    def test_skips_gradless(self):
+        p = _param([1.0])
+        SGD([p], lr=0.1).step()
+        assert p.data[0] == 1.0
+
+    def test_rejects_empty_and_bad_lr(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+        with pytest.raises(ValueError):
+            SGD([_param([1.0])], lr=0.0)
+
+    def test_zero_grad(self):
+        p = _param([1.0])
+        p.grad = np.array([1.0], dtype=np.float32)
+        opt = SGD([p], lr=0.1)
+        opt.zero_grad()
+        assert p.grad is None
+
+
+class TestAdam:
+    def test_first_step_magnitude(self):
+        # With bias correction, the first Adam step is ~lr in magnitude.
+        p = _param([0.0])
+        p.grad = np.array([3.0], dtype=np.float32)
+        Adam([p], lr=0.01).step()
+        assert p.data[0] == pytest.approx(-0.01, rel=1e-3)
+
+    def test_direction_follows_gradient_sign(self):
+        p = _param([0.0, 0.0])
+        p.grad = np.array([1.0, -1.0], dtype=np.float32)
+        Adam([p], lr=0.1).step()
+        assert p.data[0] < 0 < p.data[1]
+
+    def test_converges_on_quadratic(self):
+        p = _param([5.0])
+        opt = Adam([p], lr=0.2)
+        for _ in range(200):
+            t = Tensor(p.data, requires_grad=False)
+            p.grad = 2 * (p.data - 2.0)
+            opt.step()
+        assert p.data[0] == pytest.approx(2.0, abs=1e-2)
+
+    def test_weight_decay(self):
+        p = _param([1.0])
+        p.grad = np.array([0.0], dtype=np.float32)
+        opt = Adam([p], lr=0.1, weight_decay=1.0)
+        opt.step()
+        assert p.data[0] < 1.0
+
+    def test_trains_linear_regression(self, rng):
+        # y = 2x + 1 recovered end-to-end.
+        x = rng.random((64, 1), dtype=np.float32)
+        y = 2 * x + 1
+        layer = nn.Linear(1, 1, rng=0)
+        opt = Adam(layer.parameters(), lr=0.05)
+        loss_fn = nn.MSELoss()
+        for _ in range(300):
+            loss = loss_fn(layer(Tensor(x)), Tensor(y))
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        assert layer.weight.data[0, 0] == pytest.approx(2.0, abs=0.05)
+        assert layer.bias.data[0] == pytest.approx(1.0, abs=0.05)
+
+
+class TestStepLR:
+    def test_decay_schedule(self):
+        p = _param([1.0])
+        opt = Adam([p], lr=1.0)
+        sched = StepLR(opt, step_size=2, gamma=0.1)
+        sched.step()
+        assert sched.lr == pytest.approx(1.0)
+        sched.step()
+        assert sched.lr == pytest.approx(0.1)
+        sched.step()
+        sched.step()
+        assert sched.lr == pytest.approx(0.01)
+
+    def test_invalid_step_size(self):
+        with pytest.raises(ValueError):
+            StepLR(Adam([_param([1.0])], lr=1.0), step_size=0)

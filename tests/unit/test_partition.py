@@ -1,0 +1,114 @@
+"""The Partition container."""
+
+import numpy as np
+import pytest
+
+from repro.engine.partition import Partition, _best_array
+from repro.engine.schema import Schema
+
+
+class TestConstruction:
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="lengths"):
+            Partition({"a": np.zeros(2), "b": np.zeros(3)})
+
+    def test_empty(self):
+        part = Partition({})
+        assert part.num_rows == 0
+
+    def test_from_rows_tuples(self):
+        part = Partition.from_rows([(1, "a"), (2, "b")], ["n", "s"])
+        assert part.num_rows == 2
+        assert part.columns["n"].dtype.kind == "i"
+        assert part.columns["s"].dtype == object
+
+    def test_from_rows_dicts(self):
+        part = Partition.from_rows([{"n": 1}, {"n": 2}], ["n"])
+        assert list(part.columns["n"]) == [1, 2]
+
+    def test_empty_from_schema(self):
+        schema = Schema([("a", np.int64), ("b", object)])
+        part = Partition.empty(schema)
+        assert part.num_rows == 0
+        assert part.columns["a"].dtype == np.int64
+
+
+class TestOperations:
+    @pytest.fixture
+    def part(self):
+        return Partition(
+            {"a": np.arange(5), "b": np.arange(5) * 1.5}
+        )
+
+    def test_select(self, part):
+        out = part.select(["b"])
+        assert list(out.columns) == ["b"]
+
+    def test_mask(self, part):
+        out = part.mask(part.columns["a"] % 2 == 0)
+        assert out.num_rows == 3
+
+    def test_with_column(self, part):
+        out = part.with_column("c", part.columns["a"] * 10)
+        assert "c" in out.columns
+        assert "c" not in part.columns  # immutable original
+
+    def test_drop(self, part):
+        assert list(part.drop(["a"]).columns) == ["b"]
+
+    def test_take(self, part):
+        assert part.take(2).num_rows == 2
+
+    def test_rows(self, part):
+        rows = list(part.rows())
+        assert rows[1] == {"a": 1, "b": 1.5}
+
+    def test_concat(self, part):
+        out = Partition.concat([part, part])
+        assert out.num_rows == 10
+
+    def test_concat_skips_empty(self, part):
+        empty = Partition({"a": np.empty(0, dtype=np.int64),
+                           "b": np.empty(0)})
+        out = Partition.concat([empty, part])
+        assert out.num_rows == 5
+
+    def test_concat_all_empty_rejected(self):
+        empty = Partition({"a": np.empty(0)})
+        with pytest.raises(ValueError):
+            Partition.concat([empty])
+
+    def test_nbytes_object_columns_weighted(self):
+        numeric = Partition({"a": np.zeros(100, dtype=np.float64)})
+        objects = Partition(
+            {"a": np.array(["x"] * 100, dtype=object)}
+        )
+        assert objects.nbytes > numeric.nbytes / 20
+
+    def test_schema(self, part):
+        schema = part.schema()
+        assert schema.names == ["a", "b"]
+        assert schema["b"].dtype.kind == "f"
+
+
+class TestBestArray:
+    def test_numeric(self):
+        assert _best_array([1, 2, 3]).dtype.kind == "i"
+        assert _best_array([1.5, 2.0]).dtype.kind == "f"
+
+    def test_strings_become_object(self):
+        arr = _best_array(["a", "bb"])
+        assert arr.dtype == object
+
+    def test_mixed_objects(self):
+        arr = _best_array([1, "a", None])
+        assert arr.dtype == object
+
+    def test_nested_sequences_stay_object(self):
+        arr = _best_array([[1, 2], [3, 4]])
+        assert arr.dtype == object
+        assert arr.shape == (2,)
+
+    def test_ragged(self):
+        arr = _best_array([[1, 2], [3]])
+        assert arr.dtype == object

@@ -1,0 +1,160 @@
+"""Distributed raster transformation and map algebra."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.preprocessing.raster import RasterProcessing
+from repro.core.preprocessing.raster.indices import normalized_difference
+from repro.engine import Session
+from repro.spatial import RasterTile, load_raster_folder, write_rtif
+
+
+@pytest.fixture
+def session():
+    return Session(default_parallelism=2)
+
+
+@pytest.fixture
+def raster_df(session, tmp_path, rng):
+    folder = str(tmp_path / "tiles")
+    os.makedirs(folder)
+    for i in range(6):
+        tile = RasterTile(
+            rng.random((4, 5, 5), dtype=np.float32), name=f"t{i}"
+        )
+        write_rtif(tile, os.path.join(folder, f"t{i}"))
+    return load_raster_folder(session, folder, tiles_per_partition=3)
+
+
+class TestTransformOps:
+    def test_append_ndi(self, raster_df):
+        out = RasterProcessing.append_normalized_difference_index(raster_df, 0, 1)
+        rows = out.collect()
+        assert all(r["tile"].num_bands == 5 for r in rows)
+        assert all(r["n_bands"] == 5 for r in rows)
+        tile = rows[0]["tile"]
+        np.testing.assert_allclose(
+            tile.band(4),
+            normalized_difference(tile.band(0), tile.band(1)),
+            rtol=1e-5,
+        )
+
+    def test_chained_transforms_lazy(self, raster_df):
+        out = RasterProcessing.append_normalized_difference_index(raster_df, 0, 1)
+        out = RasterProcessing.append_normalized_difference_index(out, 2, 3)
+        out = RasterProcessing.delete_band(out, 0)
+        plan = out.explain()
+        assert plan.count("MapPartitions") == 3
+        rows = out.collect()
+        assert all(r["tile"].num_bands == 5 for r in rows)
+
+    def test_normalize_band(self, raster_df):
+        out = RasterProcessing.normalize_band(raster_df, 2)
+        for row in out.collect():
+            band = row["tile"].band(2)
+            assert band.min() == pytest.approx(0.0, abs=1e-6)
+            assert band.max() == pytest.approx(1.0, abs=1e-6)
+
+    def test_normalize_constant_band(self, session, tmp_path):
+        folder = str(tmp_path / "const")
+        os.makedirs(folder)
+        write_rtif(
+            RasterTile(np.full((1, 3, 3), 7.0, dtype=np.float32), name="c"),
+            os.path.join(folder, "c"),
+        )
+        df = load_raster_folder(session, folder)
+        out = RasterProcessing.normalize_band(df, 0)
+        assert out.collect()[0]["tile"].band(0).max() == 0.0
+
+    def test_delete_band(self, raster_df):
+        out = RasterProcessing.delete_band(raster_df, 1)
+        original = {r["name"]: r["tile"] for r in raster_df.collect()}
+        for row in out.collect():
+            assert row["tile"].num_bands == 3
+            np.testing.assert_allclose(
+                row["tile"].band(1), original[row["name"]].band(2)
+            )
+
+    def test_append_band_custom(self, raster_df):
+        out = RasterProcessing.append_band(
+            raster_df, lambda tile: tile.band(0) * 2, label="double0"
+        )
+        row = out.collect()[0]
+        np.testing.assert_allclose(
+            row["tile"].band(4), row["tile"].band(0) * 2, rtol=1e-6
+        )
+
+    def test_mask_upper(self, raster_df):
+        out = RasterProcessing.mask_band_on_threshold(
+            raster_df, 0, threshold=0.5, upper=True, fill=0.0
+        )
+        for row in out.collect():
+            assert row["tile"].band(0).max() <= 0.5
+
+    def test_mask_lower(self, raster_df):
+        out = RasterProcessing.mask_band_on_threshold(
+            raster_df, 0, threshold=0.5, upper=False, fill=1.0
+        )
+        for row in out.collect():
+            assert row["tile"].band(0).min() >= 0.5
+
+    def test_mask_does_not_mutate_source(self, raster_df):
+        before = raster_df.collect()[0]["tile"].band(0).copy()
+        RasterProcessing.mask_band_on_threshold(raster_df, 0, 0.5).collect()
+        after = raster_df.collect()[0]["tile"].band(0)
+        np.testing.assert_allclose(before, after)
+
+
+class TestMapAlgebra:
+    @pytest.mark.parametrize("op,fn", [
+        ("add", np.add),
+        ("subtract", np.subtract),
+        ("multiply", np.multiply),
+    ])
+    def test_band_arithmetic(self, raster_df, op, fn):
+        out = RasterProcessing.band_arithmetic(raster_df, 0, 1, op)
+        row = out.collect()[0]
+        np.testing.assert_allclose(
+            row["tile"].band(4),
+            fn(row["tile"].band(0), row["tile"].band(1)),
+            rtol=1e-5,
+        )
+
+    def test_band_divide_safe(self, session, tmp_path):
+        folder = str(tmp_path / "div")
+        os.makedirs(folder)
+        data = np.stack([np.ones((2, 2)), np.zeros((2, 2))]).astype(np.float32)
+        write_rtif(RasterTile(data, name="z"), os.path.join(folder, "z"))
+        df = load_raster_folder(session, folder)
+        out = RasterProcessing.band_arithmetic(df, 0, 1, "divide")
+        assert np.isfinite(out.collect()[0]["tile"].band(2)).all()
+
+    def test_unknown_op(self, raster_df):
+        with pytest.raises(ValueError, match="unknown operation"):
+            RasterProcessing.band_arithmetic(raster_df, 0, 1, "power")
+
+    def test_bitwise(self, raster_df):
+        out = RasterProcessing.bitwise_band_operation(raster_df, 0, 1, "and")
+        row = out.collect()[0]
+        assert row["tile"].num_bands == 5
+        with pytest.raises(ValueError):
+            RasterProcessing.bitwise_band_operation(raster_df, 0, 1, "nand")
+
+
+class TestFeatureExtraction:
+    def test_band_means(self, raster_df):
+        out = RasterProcessing.get_band_means(raster_df)
+        for row in out.collect():
+            np.testing.assert_allclose(
+                row["band_means"],
+                row["tile"].data.mean(axis=(1, 2)),
+                rtol=1e-5,
+            )
+
+    def test_glcm_features_column(self, raster_df):
+        out = RasterProcessing.extract_glcm_features(raster_df, band_index=0)
+        for row in out.collect():
+            assert row["glcm_features"].shape == (6,)
+            assert np.isfinite(row["glcm_features"]).all()

@@ -1,0 +1,87 @@
+"""LSTM and ConvLSTM cells."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.tensor import Tensor
+
+
+def _x(rng, shape):
+    return Tensor(rng.random(shape, dtype=np.float32) - 0.5)
+
+
+class TestLSTMCell:
+    def test_shapes(self, rng):
+        cell = nn.LSTMCell(6, 4)
+        h, (h2, c2) = cell(_x(rng, (3, 6)))
+        assert h.shape == (3, 4)
+        assert h2 is h
+        assert c2.shape == (3, 4)
+
+    def test_state_threading(self, rng):
+        cell = nn.LSTMCell(6, 4)
+        x = _x(rng, (2, 6))
+        _, state = cell(x)
+        h2, _ = cell(x, state)
+        h_fresh, _ = cell(x)
+        # Same input but different state gives different output.
+        assert not np.allclose(h2.data, h_fresh.data)
+
+    def test_init_state_zero(self):
+        cell = nn.LSTMCell(3, 5)
+        h, c = cell.init_state(2)
+        assert h.data.sum() == 0 and c.shape == (2, 5)
+
+    def test_gradients_flow_through_time(self, rng):
+        cell = nn.LSTMCell(3, 3)
+        x = Tensor(rng.random((2, 3), dtype=np.float32), requires_grad=True)
+        state = None
+        for _ in range(4):
+            h, state = cell(x, state)
+        h.sum().backward()
+        assert x.grad is not None
+        assert np.abs(x.grad).sum() > 0
+        assert cell.gates.weight.grad is not None
+
+
+class TestConvLSTMCell:
+    def test_shapes(self, rng):
+        cell = nn.ConvLSTMCell(2, 5, kernel_size=3)
+        h, (h2, c2) = cell(_x(rng, (2, 2, 6, 6)))
+        assert h.shape == (2, 5, 6, 6)
+        assert c2.shape == (2, 5, 6, 6)
+
+    def test_even_kernel_rejected(self):
+        with pytest.raises(ValueError, match="odd"):
+            nn.ConvLSTMCell(2, 4, kernel_size=4)
+
+    def test_bounded_state(self, rng):
+        # Cell output h = o * tanh(c) is bounded by |tanh|.
+        cell = nn.ConvLSTMCell(1, 3)
+        x = Tensor(rng.random((1, 1, 4, 4), dtype=np.float32) * 100)
+        h, _ = cell(x)
+        assert np.abs(h.data).max() <= 1.0
+
+
+class TestConvLSTM:
+    def test_output_sequence_shape(self, rng):
+        model = nn.ConvLSTM(2, [4, 3])
+        out = model(_x(rng, (2, 5, 2, 6, 6)))
+        assert out.shape == (2, 5, 3, 6, 6)
+
+    def test_single_int_hidden(self, rng):
+        model = nn.ConvLSTM(1, 4)
+        assert model(_x(rng, (1, 2, 1, 4, 4))).shape == (1, 2, 4, 4, 4)
+
+    def test_rank_check(self, rng):
+        with pytest.raises(ValueError, match="N, T, C, H, W"):
+            nn.ConvLSTM(1, 2)(_x(rng, (1, 1, 4, 4)))
+
+    def test_temporal_dependence(self, rng):
+        # Permuting the input sequence changes the final hidden state.
+        model = nn.ConvLSTM(1, 3, rng=0)
+        x = rng.random((1, 4, 1, 4, 4), dtype=np.float32)
+        out_fwd = model(Tensor(x)).data[:, -1]
+        out_rev = model(Tensor(x[:, ::-1].copy())).data[:, -1]
+        assert not np.allclose(out_fwd, out_rev, atol=1e-5)

@@ -1,0 +1,86 @@
+"""STR-tree and grid spatial hash indexes."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Envelope, GridIndex, Point, STRTree
+
+
+def _random_envelopes(rng, n):
+    xs = rng.uniform(0, 100, n)
+    ys = rng.uniform(0, 100, n)
+    ws = rng.uniform(0.1, 5, n)
+    hs = rng.uniform(0.1, 5, n)
+    return [
+        Envelope(x, x + w, y, y + h) for x, y, w, h in zip(xs, ys, ws, hs)
+    ]
+
+
+class TestSTRTree:
+    def test_empty(self):
+        tree = STRTree([])
+        assert len(tree) == 0
+        assert list(tree.query(Envelope(0, 1, 0, 1))) == []
+
+    def test_single(self):
+        tree = STRTree([(Envelope(0, 1, 0, 1), "a")])
+        assert list(tree.query(Envelope(0.5, 2, 0.5, 2))) == ["a"]
+        assert list(tree.query(Envelope(2, 3, 2, 3))) == []
+
+    def test_matches_brute_force(self, rng):
+        envs = _random_envelopes(rng, 300)
+        tree = STRTree([(e, i) for i, e in enumerate(envs)])
+        for _ in range(30):
+            q = _random_envelopes(rng, 1)[0].expand(2.0)
+            expected = {i for i, e in enumerate(envs) if e.intersects(q)}
+            got = set(tree.query(q))
+            assert got == expected
+
+    def test_query_point(self, rng):
+        envs = _random_envelopes(rng, 100)
+        tree = STRTree([(e, i) for i, e in enumerate(envs)])
+        p = Point(50, 50)
+        expected = {i for i, e in enumerate(envs) if e.contains_point(p)}
+        assert set(tree.query_point(p)) == expected
+
+    def test_all_items_reachable(self, rng):
+        envs = _random_envelopes(rng, 257)  # not a multiple of capacity
+        tree = STRTree([(e, i) for i, e in enumerate(envs)])
+        everything = Envelope(-10, 200, -10, 200)
+        assert set(tree.query(everything)) == set(range(257))
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            STRTree([], node_capacity=1)
+
+
+class TestGridIndex:
+    def test_insert_and_envelope_query(self):
+        idx = GridIndex(cell_size=1.0)
+        idx.insert_point(Point(0.5, 0.5), "a")
+        idx.insert_point(Point(5.5, 5.5), "b")
+        assert len(idx) == 2
+        assert set(idx.query_envelope(Envelope(0, 1, 0, 1))) == {"a"}
+        assert set(idx.query_envelope(Envelope(0, 6, 0, 6))) == {"a", "b"}
+
+    def test_radius_query_exact(self, rng):
+        idx = GridIndex(cell_size=2.0)
+        points = [
+            Point(rng.uniform(0, 20), rng.uniform(0, 20)) for _ in range(200)
+        ]
+        for i, p in enumerate(points):
+            idx.insert_point(p, i)
+        center = Point(10, 10)
+        expected = {
+            i for i, p in enumerate(points) if p.distance(center) <= 4.0
+        }
+        assert set(idx.query_radius(center, 4.0)) == expected
+
+    def test_negative_coordinates(self):
+        idx = GridIndex(cell_size=1.0)
+        idx.insert_point(Point(-3.5, -0.5), "neg")
+        assert set(idx.query_envelope(Envelope(-4, -3, -1, 0))) == {"neg"}
+
+    def test_invalid_cell_size(self):
+        with pytest.raises(ValueError):
+            GridIndex(cell_size=0)

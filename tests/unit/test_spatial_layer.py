@@ -1,0 +1,164 @@
+"""Spatial DataFrame functions, the spatial join, and raster I/O."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.preprocessing.grid import SpacePartition
+from repro.engine import Session
+from repro.geometry import Envelope, Point, UniformGrid
+from repro.spatial import (
+    RasterTile,
+    add_point_column,
+    assign_grid_cells,
+    load_raster_folder,
+    point_in_envelope,
+    read_rtif,
+    spatial_join_points_polygons,
+    write_raster_dataframe,
+    write_rtif,
+)
+
+
+@pytest.fixture
+def session():
+    return Session(default_parallelism=2)
+
+
+@pytest.fixture
+def points_df(session, rng):
+    return session.create_dataframe(
+        {
+            "lon": rng.uniform(0, 10, 50),
+            "lat": rng.uniform(0, 10, 50),
+        }
+    )
+
+
+class TestSpatialFunctions:
+    def test_add_point_column(self, points_df):
+        out = add_point_column(points_df, "lat", "lon", alias="pt")
+        rows = out.collect()
+        assert all(isinstance(r["pt"], Point) for r in rows)
+        assert rows[0]["pt"].x == rows[0]["lon"]
+
+    def test_assign_grid_cells_matches_scalar(self, points_df, rng):
+        grid = UniformGrid(Envelope(0, 10, 0, 10), 4, 4)
+        out = assign_grid_cells(points_df, grid, "lon", "lat")
+        for row in out.collect():
+            expected = grid.cell_id_of(Point(row["lon"], row["lat"]))
+            assert row["cell_id"] == (-1 if expected is None else expected)
+
+    def test_point_in_envelope(self, session):
+        df = session.create_dataframe({"lon": [1.0, 5.0], "lat": [1.0, 20.0]})
+        out = point_in_envelope(df, Envelope(0, 10, 0, 10), "lon", "lat")
+        assert [r["inside"] for r in out.collect()] == [True, False]
+
+
+class TestSpatialJoin:
+    def test_matches_brute_force(self, points_df):
+        polygons = SpacePartition.generate_grid_cells(
+            Envelope(0, 10, 0, 10), 3, 3
+        )
+        indexed = spatial_join_points_polygons(
+            points_df, polygons, "lon", "lat", use_index=True
+        ).collect()
+        brute = spatial_join_points_polygons(
+            points_df, polygons, "lon", "lat", use_index=False
+        ).collect()
+        key = lambda r: (r["lon"], r["lat"], r["polygon_id"])
+        assert sorted(map(key, indexed)) == sorted(map(key, brute))
+
+    def test_nonmatching_points_dropped(self, session):
+        df = session.create_dataframe({"lon": [0.5, 50.0], "lat": [0.5, 50.0]})
+        polygons = SpacePartition.generate_grid_cells(Envelope(0, 1, 0, 1), 1, 1)
+        out = spatial_join_points_polygons(df, polygons, "lon", "lat")
+        rows = out.collect()
+        assert len(rows) == 1 and rows[0]["polygon_id"] == 0
+
+    def test_requires_polygons(self, points_df):
+        with pytest.raises(ValueError):
+            spatial_join_points_polygons(points_df, [], "lon", "lat")
+
+
+class TestRasterTile:
+    def test_shape_validation(self):
+        with pytest.raises(ValueError, match="bands"):
+            RasterTile(np.zeros((4, 4)))
+
+    def test_band_access(self):
+        tile = RasterTile(np.arange(2 * 3 * 3, dtype=np.float32).reshape(2, 3, 3))
+        assert tile.num_bands == 2
+        assert tile.band(1)[0, 0] == 9.0
+        with pytest.raises(IndexError):
+            tile.band(2)
+
+    def test_append_band(self):
+        tile = RasterTile(np.zeros((2, 4, 4), dtype=np.float32))
+        out = tile.append_band(np.ones((4, 4)))
+        assert out.num_bands == 3
+        assert tile.num_bands == 2  # original untouched
+        with pytest.raises(ValueError):
+            tile.append_band(np.ones((3, 3)))
+
+    def test_delete_band(self):
+        tile = RasterTile(np.stack([np.zeros((2, 2)), np.ones((2, 2))]))
+        out = tile.delete_band(0)
+        assert out.num_bands == 1
+        assert out.band(0)[0, 0] == 1.0
+
+
+class TestRasterIO:
+    def test_rtif_roundtrip(self, tmp_path):
+        tile = RasterTile(
+            np.random.default_rng(0).random((3, 5, 7)).astype(np.float32),
+            envelope=Envelope(0, 1, 2, 3),
+            crs="EPSG:9999",
+            nodata=-1.0,
+            name="tile_a",
+        )
+        path = write_rtif(tile, str(tmp_path / "tile_a"))
+        loaded = read_rtif(path)
+        np.testing.assert_allclose(loaded.data, tile.data)
+        assert loaded.envelope == tile.envelope
+        assert loaded.crs == "EPSG:9999"
+        assert loaded.nodata == -1.0
+        assert loaded.name == "tile_a"
+
+    def test_folder_scan(self, session, tmp_path, rng):
+        folder = str(tmp_path / "tiles")
+        os.makedirs(folder)
+        for i in range(5):
+            write_rtif(
+                RasterTile(rng.random((2, 4, 4), dtype=np.float32), name=f"t{i}"),
+                os.path.join(folder, f"t{i}"),
+            )
+        df = load_raster_folder(session, folder, tiles_per_partition=2)
+        assert df.count() == 5
+        assert df.num_partitions() == 3
+        rows = df.collect()
+        assert all(r["n_bands"] == 2 for r in rows)
+        assert all(r["height"] == 4 and r["width"] == 4 for r in rows)
+
+    def test_empty_folder(self, session, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_raster_folder(session, str(tmp_path))
+
+    def test_write_dataframe_roundtrip(self, session, tmp_path, rng):
+        src = str(tmp_path / "src")
+        dst = str(tmp_path / "dst")
+        os.makedirs(src)
+        originals = {}
+        for i in range(3):
+            tile = RasterTile(rng.random((1, 3, 3), dtype=np.float32), name=f"t{i}")
+            originals[f"t{i}"] = tile.data
+            write_rtif(tile, os.path.join(src, f"t{i}"))
+        df = load_raster_folder(session, src)
+        count = write_raster_dataframe(df, dst)
+        assert count == 3
+        again = load_raster_folder(session, dst)
+        for row in again.collect():
+            np.testing.assert_allclose(
+                row["tile"].data, originals[row["name"]]
+            )

@@ -1,0 +1,176 @@
+"""STManager: envelope, grid aggregation, tensor materialization."""
+
+import numpy as np
+import pytest
+
+from repro.core.preprocessing.grid import STManager
+from repro.engine import Session, agg
+from repro.geometry import Envelope
+
+
+@pytest.fixture
+def session():
+    return Session(default_parallelism=3)
+
+
+def _df(session, lats, lons, times, **extra):
+    data = {
+        "lat": np.asarray(lats, dtype=np.float64),
+        "lon": np.asarray(lons, dtype=np.float64),
+        "t": np.asarray(times, dtype=np.float64),
+    }
+    data.update(extra)
+    return session.create_dataframe(data)
+
+
+class TestAddSpatialPoints:
+    def test_packed_columns(self, session):
+        df = _df(session, [1.0, 2.0], [10.0, 20.0], [0.0, 0.0])
+        out = STManager.add_spatial_points(df, "lat", "lon", "point")
+        rows = out.collect()
+        assert rows[0]["point__x"] == 10.0
+        assert rows[0]["point__y"] == 1.0
+        assert "point__x" in out.columns
+
+
+class TestEnvelope:
+    def test_compute_envelope(self, session):
+        df = _df(session, [1.0, 5.0, 3.0], [10.0, 20.0, 15.0], [0, 0, 0])
+        spatial = STManager.add_spatial_points(df, "lat", "lon", "point")
+        env = STManager.compute_envelope(spatial, "point")
+        assert env == Envelope(10.0, 20.0, 1.0, 5.0)
+
+    def test_empty_rejected(self, session):
+        df = _df(session, [], [], [])
+        spatial = STManager.add_spatial_points(df, "lat", "lon", "point")
+        with pytest.raises(ValueError, match="empty"):
+            STManager.compute_envelope(spatial, "point")
+
+
+class TestGridAggregation:
+    def test_counts_match_manual(self, session, rng):
+        n = 500
+        lats = rng.uniform(0, 4, n)
+        lons = rng.uniform(0, 8, n)
+        times = rng.uniform(0, 3600, n)
+        df = _df(session, lats, lons, times)
+        spatial = STManager.add_spatial_points(df, "lat", "lon", "point")
+        env = Envelope(0, 8, 0, 4)
+        st = STManager.get_st_grid_dataframe(
+            spatial, "point", partitions_x=4, partitions_y=2,
+            col_date="t", step_duration_sec=600.0,
+            envelope=env, temporal_origin=0.0,
+        )
+        rows = st.collect()
+        # Manual reference aggregation.
+        xi = np.clip((lons / 2).astype(int), 0, 3)
+        yi = np.clip((lats / 2).astype(int), 0, 1)
+        cell = yi * 4 + xi
+        step = (times / 600).astype(int)
+        expected = {}
+        for c, s in zip(cell, step):
+            expected[(s, c)] = expected.get((s, c), 0) + 1
+        got = {(r["time_step"], r["cell_id"]): r["count"] for r in rows}
+        assert got == expected
+        assert sum(got.values()) == n
+
+    def test_cell_xy_columns(self, session):
+        df = _df(session, [0.5], [6.5], [0.0])
+        spatial = STManager.add_spatial_points(df, "lat", "lon", "point")
+        st = STManager.get_st_grid_dataframe(
+            spatial, "point", 4, 2, "t", 600.0,
+            envelope=Envelope(0, 8, 0, 4), temporal_origin=0.0,
+        )
+        row = st.collect()[0]
+        assert row["cell_x"] == 3 and row["cell_y"] == 0
+        assert row["cell_id"] == row["cell_y"] * 4 + row["cell_x"]
+
+    def test_out_of_envelope_dropped(self, session):
+        df = _df(session, [0.5, 100.0], [0.5, 100.0], [0.0, 0.0])
+        spatial = STManager.add_spatial_points(df, "lat", "lon", "point")
+        st = STManager.get_st_grid_dataframe(
+            spatial, "point", 2, 2, "t", 60.0,
+            envelope=Envelope(0, 1, 0, 1), temporal_origin=0.0,
+        )
+        rows = st.collect()
+        assert sum(r["count"] for r in rows) == 1
+
+    def test_extra_aggregations(self, session):
+        df = _df(
+            session, [0.5, 0.5], [0.5, 0.5], [0.0, 1.0],
+            fare=np.array([10.0, 30.0]),
+        )
+        spatial = STManager.add_spatial_points(df, "lat", "lon", "point")
+        st = STManager.get_st_grid_dataframe(
+            spatial, "point", 1, 1, "t", 3600.0,
+            envelope=Envelope(0, 1, 0, 1), temporal_origin=0.0,
+            aggregations=[agg.mean("fare", "mean_fare")],
+        )
+        row = st.collect()[0]
+        assert row["count"] == 2
+        assert row["mean_fare"] == pytest.approx(20.0)
+
+    def test_auto_envelope_and_origin(self, session):
+        df = _df(session, [0.0, 1.0], [0.0, 1.0], [100.0, 700.0])
+        spatial = STManager.add_spatial_points(df, "lat", "lon", "point")
+        st = STManager.get_st_grid_dataframe(
+            spatial, "point", 2, 2, "t", 600.0
+        )
+        rows = st.collect()
+        steps = sorted(r["time_step"] for r in rows)
+        assert steps == [0, 1]  # origin derived from min time
+
+    def test_parameter_validation(self, session):
+        df = _df(session, [0.0], [0.0], [0.0])
+        spatial = STManager.add_spatial_points(df, "lat", "lon", "point")
+        with pytest.raises(ValueError):
+            STManager.get_st_grid_dataframe(spatial, "point", 0, 2, "t", 600)
+        with pytest.raises(ValueError):
+            STManager.get_st_grid_dataframe(spatial, "point", 2, 2, "t", 0)
+
+
+class TestGridArray:
+    def test_dense_tensor(self, session):
+        df = _df(
+            session,
+            [0.25, 0.25, 0.75, 0.25],
+            [0.25, 0.25, 0.75, 0.25],
+            [0.0, 10.0, 0.0, 700.0],
+        )
+        spatial = STManager.add_spatial_points(df, "lat", "lon", "point")
+        st = STManager.get_st_grid_dataframe(
+            spatial, "point", 2, 2, "t", 600.0,
+            envelope=Envelope(0, 1, 0, 1), temporal_origin=0.0,
+        )
+        tensor = STManager.get_st_grid_array(st, 2, 2, num_steps=2)
+        assert tensor.shape == (2, 2, 2, 1)
+        assert tensor[0, 0, 0, 0] == 2.0  # two points in cell (0,0) step 0
+        assert tensor[0, 1, 1, 0] == 1.0
+        assert tensor[1, 0, 0, 0] == 1.0
+        assert tensor.sum() == 4.0
+
+    def test_num_steps_inferred(self, session):
+        df = _df(session, [0.5], [0.5], [1300.0])
+        spatial = STManager.add_spatial_points(df, "lat", "lon", "point")
+        st = STManager.get_st_grid_dataframe(
+            spatial, "point", 1, 1, "t", 600.0,
+            envelope=Envelope(0, 1, 0, 1), temporal_origin=0.0,
+        )
+        tensor = STManager.get_st_grid_array(st, 1, 1)
+        assert tensor.shape[0] == 3  # steps 0..2 inferred
+
+    def test_steps_beyond_range_ignored(self, session):
+        df = _df(session, [0.5, 0.5], [0.5, 0.5], [0.0, 100000.0])
+        spatial = STManager.add_spatial_points(df, "lat", "lon", "point")
+        st = STManager.get_st_grid_dataframe(
+            spatial, "point", 1, 1, "t", 600.0,
+            envelope=Envelope(0, 1, 0, 1), temporal_origin=0.0,
+        )
+        tensor = STManager.get_st_grid_array(st, 1, 1, num_steps=2)
+        assert tensor.sum() == 1.0
+
+    def test_write_read_roundtrip(self, tmp_path):
+        tensor = np.arange(24, dtype=np.float32).reshape(2, 3, 4, 1)
+        path = STManager.write_st_grid_array(tensor, str(tmp_path / "t"))
+        loaded = STManager.read_st_grid_array(path)
+        np.testing.assert_allclose(loaded, tensor)

@@ -1,0 +1,321 @@
+"""Tensor arithmetic, broadcasting, reductions, and shape ops."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import (
+    Tensor,
+    arange,
+    concatenate,
+    full,
+    ones,
+    stack,
+    tensor,
+    where,
+    zeros,
+)
+
+from tests.conftest import assert_grad_close, numeric_gradient
+
+
+class TestConstruction:
+    def test_float64_downcast(self):
+        t = Tensor(np.zeros(3, dtype=np.float64))
+        assert t.dtype == np.float32
+
+    def test_int_upcast(self):
+        t = Tensor(np.zeros(3, dtype=np.int32))
+        assert t.dtype == np.int64
+
+    def test_scalar(self):
+        t = Tensor(3.5)
+        assert t.item() == pytest.approx(3.5)
+        assert t.shape == ()
+
+    def test_factories(self):
+        assert zeros((2, 3)).shape == (2, 3)
+        assert ones((4,)).data.sum() == 4
+        assert full((2,), 7.0).data.tolist() == [7.0, 7.0]
+        assert arange(5).data.tolist() == [0, 1, 2, 3, 4]
+        assert tensor([1.0, 2.0]).shape == (2,)
+
+    def test_repr_mentions_grad(self):
+        assert "requires_grad" in repr(Tensor([1.0], requires_grad=True))
+        assert "requires_grad" not in repr(Tensor([1.0]))
+
+    def test_detach_shares_data(self):
+        t = Tensor([1.0, 2.0], requires_grad=True)
+        d = t.detach()
+        assert not d.requires_grad
+        assert d.data is t.data
+
+    def test_len_and_size(self):
+        t = zeros((3, 4))
+        assert len(t) == 3
+        assert t.size == 12
+        assert t.ndim == 2
+
+
+class TestArithmetic:
+    def test_add(self):
+        out = Tensor([1.0, 2.0]) + Tensor([3.0, 4.0])
+        assert out.data.tolist() == [4.0, 6.0]
+
+    def test_add_scalar_and_radd(self):
+        assert (Tensor([1.0]) + 2).item() == 3.0
+        assert (2 + Tensor([1.0])).item() == 3.0
+
+    def test_sub_rsub(self):
+        assert (Tensor([5.0]) - 2).item() == 3.0
+        assert (10 - Tensor([4.0])).item() == 6.0
+
+    def test_mul_div(self):
+        assert (Tensor([3.0]) * Tensor([4.0])).item() == 12.0
+        assert (Tensor([8.0]) / 2).item() == 4.0
+        assert (8 / Tensor([2.0])).item() == 4.0
+
+    def test_neg_pow(self):
+        assert (-Tensor([2.0])).item() == -2.0
+        assert (Tensor([3.0]) ** 2).item() == 9.0
+
+    def test_pow_requires_scalar(self):
+        with pytest.raises(TypeError):
+            Tensor([2.0]) ** Tensor([2.0])
+
+    def test_matmul_2d(self):
+        a = Tensor(np.arange(6, dtype=np.float32).reshape(2, 3))
+        b = Tensor(np.arange(12, dtype=np.float32).reshape(3, 4))
+        np.testing.assert_allclose(
+            (a @ b).data, a.data @ b.data
+        )
+
+    def test_matmul_batched(self, rng):
+        a = Tensor(rng.random((5, 2, 3), dtype=np.float32))
+        b = Tensor(rng.random((5, 3, 4), dtype=np.float32))
+        np.testing.assert_allclose(
+            (a @ b).data, a.data @ b.data, rtol=1e-6
+        )
+
+    def test_comparisons_not_tracked(self):
+        a = Tensor([1.0, 3.0], requires_grad=True)
+        out = a > 2.0
+        assert out.data.tolist() == [False, True]
+        assert not out.requires_grad
+
+
+class TestBroadcasting:
+    def test_forward_broadcast(self):
+        a = Tensor(np.ones((3, 1)))
+        b = Tensor(np.ones((1, 4)))
+        assert (a + b).shape == (3, 4)
+
+    def test_grad_unbroadcast_add(self, rng):
+        a = Tensor(rng.random((3, 1), dtype=np.float32), requires_grad=True)
+        b = Tensor(rng.random((1, 4), dtype=np.float32), requires_grad=True)
+        (a + b).sum().backward()
+        assert a.grad.shape == (3, 1)
+        assert b.grad.shape == (1, 4)
+        np.testing.assert_allclose(a.grad, np.full((3, 1), 4.0))
+        np.testing.assert_allclose(b.grad, np.full((1, 4), 3.0))
+
+    def test_grad_unbroadcast_mul(self, rng):
+        a = Tensor(rng.random((2, 3), dtype=np.float32), requires_grad=True)
+        b = Tensor(rng.random((3,), dtype=np.float32), requires_grad=True)
+        (a * b).sum().backward()
+        np.testing.assert_allclose(
+            b.grad, a.data.sum(axis=0), rtol=1e-5
+        )
+
+    def test_scalar_broadcast_grad(self):
+        a = Tensor(2.0, requires_grad=True)
+        b = Tensor(np.ones((2, 2), dtype=np.float32))
+        (a * b).sum().backward()
+        assert a.grad == pytest.approx(4.0)
+
+
+class TestUnaryGradients:
+    @pytest.mark.parametrize(
+        "op",
+        ["exp", "log", "sqrt", "tanh", "sigmoid", "relu", "abs"],
+    )
+    def test_unary_gradcheck(self, op, rng):
+        base = rng.random((3, 4)).astype(np.float32) + 0.5
+        t = Tensor(base.copy(), requires_grad=True)
+
+        def fn():
+            return getattr(t, op)().sum()
+
+        fn().backward()
+        numeric = numeric_gradient(fn, t)
+        assert_grad_close(t.grad, numeric)
+        t.zero_grad()
+
+    def test_clip_grad(self):
+        t = Tensor([-2.0, 0.5, 2.0], requires_grad=True)
+        t.clip(-1.0, 1.0).sum().backward()
+        assert t.grad.tolist() == [0.0, 1.0, 0.0]
+
+    def test_div_gradcheck(self, rng):
+        a = Tensor(rng.random(5).astype(np.float32) + 1.0, requires_grad=True)
+        b = Tensor(rng.random(5).astype(np.float32) + 1.0, requires_grad=True)
+
+        def fn():
+            return (a / b).sum()
+
+        fn().backward()
+        assert_grad_close(a.grad, numeric_gradient(fn, a))
+        assert_grad_close(b.grad, numeric_gradient(fn, b))
+
+    def test_matmul_gradcheck(self, rng):
+        a = Tensor(rng.random((2, 3)).astype(np.float32), requires_grad=True)
+        b = Tensor(rng.random((3, 2)).astype(np.float32), requires_grad=True)
+
+        def fn():
+            return ((a @ b) ** 2).sum()
+
+        fn().backward()
+        assert_grad_close(a.grad, numeric_gradient(fn, a))
+        assert_grad_close(b.grad, numeric_gradient(fn, b))
+
+
+class TestReductions:
+    def test_sum_axis_keepdims(self, rng):
+        t = Tensor(rng.random((2, 3, 4), dtype=np.float32))
+        np.testing.assert_allclose(
+            t.sum(axis=1).data, t.data.sum(axis=1), rtol=1e-6
+        )
+        assert t.sum(axis=1, keepdims=True).shape == (2, 1, 4)
+
+    def test_sum_grad(self):
+        t = Tensor(np.ones((2, 3), dtype=np.float32), requires_grad=True)
+        t.sum(axis=0).sum().backward()
+        np.testing.assert_allclose(t.grad, np.ones((2, 3)))
+
+    def test_mean(self, rng):
+        t = Tensor(rng.random((4, 5), dtype=np.float32), requires_grad=True)
+        t.mean().backward()
+        np.testing.assert_allclose(t.grad, np.full((4, 5), 1 / 20), rtol=1e-5)
+
+    def test_mean_tuple_axis(self, rng):
+        t = Tensor(rng.random((2, 3, 4), dtype=np.float32))
+        np.testing.assert_allclose(
+            t.mean(axis=(0, 2)).data, t.data.mean(axis=(0, 2)), rtol=1e-5
+        )
+
+    def test_var(self, rng):
+        t = Tensor(rng.random((10,), dtype=np.float32))
+        assert t.var().item() == pytest.approx(t.data.var(), rel=1e-4)
+
+    def test_max_grad_spreads_over_ties(self):
+        t = Tensor([1.0, 3.0, 3.0], requires_grad=True)
+        t.max().backward()
+        np.testing.assert_allclose(t.grad, [0.0, 0.5, 0.5])
+
+    def test_max_axis(self, rng):
+        t = Tensor(rng.random((3, 4), dtype=np.float32))
+        np.testing.assert_allclose(
+            t.max(axis=1).data, t.data.max(axis=1)
+        )
+
+    def test_min(self):
+        t = Tensor([3.0, 1.0, 2.0], requires_grad=True)
+        assert t.min().item() == 1.0
+        t.min().backward()
+        assert t.grad.tolist() == [0.0, 1.0, 0.0]
+
+
+class TestShapeOps:
+    def test_reshape_roundtrip_grad(self, rng):
+        t = Tensor(rng.random((2, 6), dtype=np.float32), requires_grad=True)
+        t.reshape(3, 4).sum().backward()
+        assert t.grad.shape == (2, 6)
+
+    def test_reshape_tuple_arg(self):
+        t = zeros((2, 6))
+        assert t.reshape((3, 4)).shape == (3, 4)
+
+    def test_flatten(self):
+        t = zeros((2, 3, 4))
+        assert t.flatten(start_axis=1).shape == (2, 12)
+
+    def test_transpose_default(self, rng):
+        t = Tensor(rng.random((2, 3, 4), dtype=np.float32))
+        assert t.T.shape == (4, 3, 2)
+
+    def test_transpose_grad(self, rng):
+        t = Tensor(rng.random((2, 3), dtype=np.float32), requires_grad=True)
+        (t.transpose(1, 0) * 2).sum().backward()
+        np.testing.assert_allclose(t.grad, np.full((2, 3), 2.0))
+
+    def test_swapaxes(self):
+        t = zeros((2, 3, 4))
+        assert t.swapaxes(0, 2).shape == (4, 3, 2)
+
+    def test_expand_squeeze(self):
+        t = zeros((2, 3))
+        e = t.expand_dims(1)
+        assert e.shape == (2, 1, 3)
+        assert e.squeeze(1).shape == (2, 3)
+
+    def test_getitem_slice_grad(self):
+        t = Tensor(np.arange(6, dtype=np.float32), requires_grad=True)
+        t[2:5].sum().backward()
+        np.testing.assert_allclose(t.grad, [0, 0, 1, 1, 1, 0])
+
+    def test_getitem_fancy_grad_accumulates(self):
+        t = Tensor(np.zeros(3, dtype=np.float32), requires_grad=True)
+        idx = np.array([0, 0, 2])
+        t[idx].sum().backward()
+        np.testing.assert_allclose(t.grad, [2.0, 0.0, 1.0])
+
+    def test_getitem_tensor_key(self):
+        t = Tensor(np.arange(4, dtype=np.float32))
+        key = Tensor(np.array([1, 3]))
+        assert t[key].data.tolist() == [1.0, 3.0]
+
+    def test_pad2d(self):
+        t = Tensor(np.ones((1, 1, 2, 2), dtype=np.float32), requires_grad=True)
+        padded = t.pad2d(1, 2)
+        assert padded.shape == (1, 1, 4, 6)
+        padded.sum().backward()
+        np.testing.assert_allclose(t.grad, np.ones((1, 1, 2, 2)))
+
+    def test_pad2d_zero_is_identity(self):
+        t = Tensor(np.ones((1, 1, 2, 2), dtype=np.float32))
+        assert t.pad2d(0, 0) is t
+
+
+class TestCombinators:
+    def test_concatenate_values_and_grad(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = Tensor([3.0], requires_grad=True)
+        out = concatenate([a, b])
+        assert out.data.tolist() == [1.0, 2.0, 3.0]
+        (out * Tensor([1.0, 2.0, 3.0])).sum().backward()
+        assert a.grad.tolist() == [1.0, 2.0]
+        assert b.grad.tolist() == [3.0]
+
+    def test_concatenate_axis1(self, rng):
+        a = Tensor(rng.random((2, 2), dtype=np.float32))
+        b = Tensor(rng.random((2, 3), dtype=np.float32))
+        assert concatenate([a, b], axis=1).shape == (2, 5)
+
+    def test_stack_grad(self):
+        a = Tensor([1.0], requires_grad=True)
+        b = Tensor([2.0], requires_grad=True)
+        out = stack([a, b], axis=0)
+        assert out.shape == (2, 1)
+        (out * Tensor([[2.0], [3.0]])).sum().backward()
+        assert a.grad.tolist() == [2.0]
+        assert b.grad.tolist() == [3.0]
+
+    def test_where_values(self):
+        out = where(np.array([True, False]), Tensor([1.0, 1.0]), Tensor([9.0, 9.0]))
+        assert out.data.tolist() == [1.0, 9.0]
+
+    def test_where_grad(self):
+        a = Tensor([1.0, 1.0], requires_grad=True)
+        b = Tensor([2.0, 2.0], requires_grad=True)
+        where(np.array([True, False]), a, b).sum().backward()
+        assert a.grad.tolist() == [1.0, 0.0]
+        assert b.grad.tolist() == [0.0, 1.0]
