@@ -1,0 +1,173 @@
+#!/usr/bin/env python
+"""Quick engine perf snapshot, written to ``BENCH_engine.json``.
+
+Standalone (no pytest) so CI and future PRs can diff keyed timings:
+
+    python benchmarks/run_quick.py
+
+Keys: the vectorized vs per-row 50k x 50k key join, a 500k-row
+group-by, the optimizer on/off prune-heavy workload, and the Figure 8
+tensor-preparation leg.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+if os.path.join(_REPO_ROOT, "src") not in sys.path:
+    sys.path.insert(0, os.path.join(_REPO_ROOT, "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.engine import Session, agg, col, udf  # noqa: E402
+
+JOIN_ROWS = 50_000
+
+
+def make_join_inputs(n: int = JOIN_ROWS, seed: int = 3):
+    rng = np.random.default_rng(seed)
+    left = {
+        "k": rng.integers(0, n, n).astype(np.int64),
+        "lv": rng.uniform(0, 1, n),
+    }
+    right = {
+        "k": np.arange(n, dtype=np.int64),
+        "rv": rng.uniform(0, 1, n),
+    }
+    return left, right
+
+
+def per_row_join(left: dict, right: dict, on: str):
+    """The seed executor's join algorithm: dict build, per-row probe.
+
+    Kept here as the reference the vectorized join is measured
+    against, so the speedup claim stays reproducible after the seed
+    code is gone.
+    """
+    table: dict = {}
+    right_keys = right[on]
+    for i in range(len(right_keys)):
+        table.setdefault(right_keys[i], []).append(i)
+    left_keys = left[on]
+    left_idx: list[int] = []
+    right_idx: list[int] = []
+    for i in range(len(left_keys)):
+        for j in table.get(left_keys[i], ()):
+            left_idx.append(i)
+            right_idx.append(j)
+    li = np.asarray(left_idx, dtype=np.int64)
+    ri = np.asarray(right_idx, dtype=np.int64)
+    out = {name: arr[li] for name, arr in left.items()}
+    for name, arr in right.items():
+        if name != on:
+            out[name] = arr[ri]
+    return out
+
+
+def bench_join() -> dict:
+    left_cols, right_cols = make_join_inputs()
+    session = Session(default_parallelism=4)
+    left = session.create_dataframe(left_cols)
+    right = session.create_dataframe(right_cols)
+
+    started = time.perf_counter()
+    vec_rows = left.join(right, on="k").count()
+    vectorized_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    reference = per_row_join(left_cols, right_cols, "k")
+    per_row_s = time.perf_counter() - started
+
+    assert vec_rows == len(reference["k"])
+    return {
+        "join_rows": JOIN_ROWS,
+        "join_vectorized_s": vectorized_s,
+        "join_per_row_s": per_row_s,
+        "join_speedup": per_row_s / vectorized_s,
+    }
+
+
+def bench_groupby(n: int = 500_000, groups: int = 256) -> dict:
+    rng = np.random.default_rng(5)
+    session = Session(default_parallelism=8)
+    df = session.create_dataframe(
+        {
+            "k": rng.integers(0, groups, n).astype(np.int64),
+            "v": rng.uniform(0, 1, n),
+        }
+    )
+    started = time.perf_counter()
+    rows = (
+        df.group_by("k")
+        .agg(agg.sum_("v", "s"), agg.count(name="n"), agg.max_("v", "hi"))
+        .collect()
+    )
+    elapsed = time.perf_counter() - started
+    assert len(rows) == groups
+    return {"groupby_rows": n, "groupby_s": elapsed}
+
+
+def prune_heavy_frame(session: Session, n: int = 200_000):
+    """A wide frame plus an expensive unused UDF column: column
+    pruning should skip both the extra columns and the UDF."""
+    rng = np.random.default_rng(9)
+    data = {f"w{i}": rng.uniform(0, 1, n) for i in range(10)}
+    data["k"] = rng.integers(0, 64, n).astype(np.int64)
+    data["v"] = rng.uniform(0, 1, n)
+    df = session.create_dataframe(data)
+
+    def expensive(arr):
+        out = arr
+        for _ in range(8):
+            out = np.sin(out) + np.cos(out)
+        return out
+
+    return (
+        df.with_column("heavy", udf(expensive, ["w0"], name="expensive"))
+        .filter(col("v") > 0.25)
+        .select("k", "v")
+    )
+
+
+def bench_optimizer() -> dict:
+    timings = {}
+    for flag, key in ((True, "optimizer_on_s"), (False, "optimizer_off_s")):
+        session = Session(default_parallelism=8, optimize=flag)
+        df = prune_heavy_frame(session)
+        started = time.perf_counter()
+        df.count()
+        timings[key] = time.perf_counter() - started
+    return timings
+
+
+def bench_fig8_leg(n: int = 50_000) -> dict:
+    from repro.experiments.fig8 import make_records, run_engine_prep
+
+    result = run_engine_prep(make_records(n))
+    return {
+        "fig8_records": n,
+        "fig8_tensor_prep_s": result["seconds"],
+        "fig8_peak_bytes": result["peak_bytes"],
+    }
+
+
+def main() -> dict:
+    results: dict = {}
+    for stage in (bench_join, bench_groupby, bench_optimizer, bench_fig8_leg):
+        results.update(stage())
+    path = os.path.join(_REPO_ROOT, "BENCH_engine.json")
+    with open(path, "w") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    for key in sorted(results):
+        print(f"{key}: {results[key]}")
+    print(f"\nwrote {path}")
+    return results
+
+
+if __name__ == "__main__":
+    main()

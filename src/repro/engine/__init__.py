@@ -15,6 +15,37 @@ touched, so the working set is O(partition + result), not O(dataset) —
 the property the paper's Figure 8 attributes to Spark/Sedona.  A
 :class:`repro.utils.memory.MemoryMeter` can be attached to observe (or
 cap) that working set.
+
+Before execution, plans pass through a rule-based logical optimizer
+(:mod:`repro.engine.optimizer`, default on; disable per session with
+``Session(optimize=False)`` or per action with
+``df.collect(optimize=False)``).  The rules:
+
+- **Column pruning** — every operator is asked for only the columns
+  its ancestors actually read; sources get a projection inserted above
+  them, wide ``Project``/``WithColumn`` chains shed unused outputs.
+- **Predicate pushdown** — filters move below ``Project`` /
+  ``WithColumn`` (by substituting the column definitions into the
+  predicate, never duplicating UDFs), below ``Drop``/``Union``/
+  ``OrderBy``, into ``GroupByAgg`` when key-only, and into join
+  inputs (key-only conjuncts reach both sides; side-local conjuncts
+  reach their side where the join type allows it).
+- **Fusion** — adjacent ``Filter`` nodes AND-combine;
+  ``Project∘Project`` collapses via substitution; ``WithColumn``
+  chains fuse into one :class:`repro.engine.plan.WithColumns`.
+- **Limit pushdown** — ``Limit`` fuses with ``Limit`` and moves below
+  row-count-preserving narrow ops.
+
+``Cache`` and ``MapPartitions`` are optimization barriers (the first
+holds materialized state, the second is schema-opaque).  Inspect what
+the optimizer did with ``df.explain(optimized=True)``, which renders
+the plan as written and the rewritten plan.
+
+Materializing operators — the ops whose state is O(dataset), not
+O(partition): ``order_by``, ``repartition`` (buffer everything before
+emitting), ``cache`` (keeps results resident), the build side of
+``join``, and the per-group state of ``group_by().agg``.  All of them
+report through the attached ``MemoryMeter``.
 """
 
 from repro.engine.session import Session
@@ -22,11 +53,13 @@ from repro.engine.dataframe import DataFrame
 from repro.engine.expressions import col, lit, udf, Expr
 from repro.engine.schema import Schema, Field
 from repro.engine.partition import Partition
+from repro.engine.optimizer import optimize
 from repro.engine import aggregates as agg
 
 __all__ = [
     "Session",
     "DataFrame",
+    "optimize",
     "col",
     "lit",
     "udf",

@@ -31,9 +31,21 @@ class DataFrame:
         """Output column names (derived statically from the plan)."""
         return plan_column_names(self.plan)
 
-    def explain(self) -> str:
-        """Return the logical plan as an indented tree."""
-        return self.plan.describe()
+    def explain(self, optimized: bool = False) -> str:
+        """Return the logical plan as an indented tree.
+
+        With ``optimized=True``, render both the plan as written and
+        the plan after the rule-based optimizer has rewritten it."""
+        if not optimized:
+            return self.plan.describe()
+        from repro.engine.optimizer import optimize as _optimize
+
+        return (
+            "== Logical Plan ==\n"
+            + self.plan.describe()
+            + "\n== Optimized Plan ==\n"
+            + _optimize(self.plan).describe()
+        )
 
     def __repr__(self):
         return f"DataFrame[{', '.join(self.columns)}]"
@@ -112,15 +124,28 @@ class DataFrame:
     # ------------------------------------------------------------------
     # Actions (eager)
     # ------------------------------------------------------------------
-    def iter_partitions(self):
+    def _execution_plan(self, optimize: bool | None = None) -> P.PlanNode:
+        """The plan actually executed: optimized unless turned off on
+        the call or (by default) on the session."""
+        if optimize is None:
+            optimize = getattr(self.session, "optimize", True)
+        if not optimize:
+            return self.plan
+        from repro.engine.optimizer import optimize as _optimize
+
+        return _optimize(self.plan)
+
+    def iter_partitions(self, optimize: bool | None = None):
         """Stream result partitions (the out-of-core access path used
         by the DFtoTorch converter)."""
-        return iter_partitions(self.plan, meter=self.session.meter)
+        return iter_partitions(
+            self._execution_plan(optimize), meter=self.session.meter
+        )
 
-    def collect(self) -> list[dict]:
+    def collect(self, optimize: bool | None = None) -> list[dict]:
         """Materialize all rows as dicts (test/debug path)."""
         rows = []
-        for part in self.iter_partitions():
+        for part in self.iter_partitions(optimize):
             rows.extend(part.rows())
         return rows
 

@@ -4,9 +4,17 @@ Narrow operators (project / filter / with_column / map_partitions /
 union / limit) are fully pipelined: one input partition is pulled,
 transformed, yielded, and released before the next is pulled, so the
 working set stays O(partition).  Wide operators hold only their
-*state*: the group hash table for aggregation, the build-side hash
-table for joins, and the full buffer for order_by (documented as a
-materializing operator, as in Spark).
+*state*: the factorized key codes for joins (build side), the per-group
+accumulator arrays for aggregation, and the full buffer for order_by
+and repartition (documented as materializing operators, as in Spark).
+
+Joins and group-bys are vectorized end to end.  The join factorizes
+the build side's (possibly multi-column) keys into dense integer codes
+once, then probes each left partition with ``searchsorted`` range
+lookups — no per-row Python.  Group-by keeps per-group accumulator
+*arrays* and merges each partition's partial aggregates with
+``np.unique`` + scatter updates; a dict-of-accumulators fallback
+handles non-sortable object keys.
 
 A :class:`~repro.utils.memory.MemoryMeter` passed via ``meter``
 observes exactly these allocations, which is how the Figure 8 bench
@@ -39,6 +47,11 @@ def iter_partitions(node: P.PlanNode, meter=None):
     elif isinstance(node, P.WithColumn):
         for part in iter_partitions(node.child, meter):
             yield part.with_column(node.name, node.expr.evaluate(part))
+    elif isinstance(node, P.WithColumns):
+        for part in iter_partitions(node.child, meter):
+            for name, expr in node.items:
+                part = part.with_column(name, expr.evaluate(part))
+            yield part
     elif isinstance(node, P.Drop):
         for part in iter_partitions(node.child, meter):
             yield part.drop(node.names)
@@ -101,10 +114,157 @@ def _run_limit(node: P.Limit, meter):
             return
 
 
+# ----------------------------------------------------------------------
+# Group-by: array-level partial merges (dict fallback for object keys)
+# ----------------------------------------------------------------------
+def _unique_rows(rows: np.ndarray, return_counts: bool = False):
+    """``np.unique`` over key rows; 1-column keys take the fast 1-D
+    path instead of the void-view axis=0 machinery."""
+    if rows.shape[1] == 1:
+        result = np.unique(
+            rows[:, 0], return_inverse=True, return_counts=return_counts
+        )
+        uniques = result[0][:, None]
+        rest = result[1:]
+    else:
+        result = np.unique(
+            rows, axis=0, return_inverse=True, return_counts=return_counts
+        )
+        uniques = result[0]
+        rest = result[1:]
+    inverse = rest[0].reshape(-1)
+    if return_counts:
+        return uniques, inverse, rest[1]
+    return uniques, inverse
+
+
+class _ArrayGroupState:
+    """Per-group accumulators held as whole arrays, merged with
+    ``np.unique`` + scatter updates — one vectorized merge per
+    partition instead of one Python dict update per key."""
+
+    def __init__(self, specs):
+        self.specs = specs
+        self.keys: np.ndarray | None = None  # (G, K) unique key rows
+        self.counts: np.ndarray | None = None  # (G,) int64 rows per group
+        self.values: list = [None] * len(specs)  # (G,) float64 per spec
+
+    @property
+    def num_groups(self) -> int:
+        return 0 if self.keys is None else len(self.keys)
+
+    @property
+    def nbytes(self) -> int:
+        total = 0
+        for arr in [self.keys, self.counts, *self.values]:
+            if arr is not None:
+                total += arr.nbytes
+        return total
+
+    def update(self, stacked: np.ndarray, part: Partition) -> None:
+        uniques, inverse, counts = _unique_rows(stacked, return_counts=True)
+        counts = counts.astype(np.int64)
+        partials = []
+        for spec in self.specs:
+            if spec.kind == "count":
+                partials.append(None)
+                continue
+            vals = np.asarray(part.columns[spec.column], dtype=np.float64)
+            if spec.kind in ("sum", "mean"):
+                partial = np.bincount(
+                    inverse, weights=vals, minlength=len(uniques)
+                )
+            elif spec.kind == "min":
+                partial = np.full(len(uniques), np.inf)
+                np.minimum.at(partial, inverse, vals)
+            else:
+                partial = np.full(len(uniques), -np.inf)
+                np.maximum.at(partial, inverse, vals)
+            partials.append(partial)
+
+        if self.keys is None:
+            self.keys = uniques
+            self.counts = counts
+            self.values = partials
+            return
+
+        num_old = len(self.keys)
+        combined = np.concatenate([self.keys, uniques], axis=0)
+        merged_keys, remap = _unique_rows(combined)
+        old_map, new_map = remap[:num_old], remap[num_old:]
+        merged_counts = np.zeros(len(merged_keys), dtype=np.int64)
+        merged_counts[old_map] = self.counts
+        merged_counts[new_map] += counts
+        merged_values = []
+        for spec, old, partial in zip(self.specs, self.values, partials):
+            if spec.kind == "count":
+                merged_values.append(None)
+                continue
+            if spec.kind in ("sum", "mean"):
+                merged = np.zeros(len(merged_keys))
+                merged[old_map] = old
+                merged[new_map] += partial
+            elif spec.kind == "min":
+                merged = np.full(len(merged_keys), np.inf)
+                merged[old_map] = old
+                merged[new_map] = np.minimum(merged[new_map], partial)
+            else:
+                merged = np.full(len(merged_keys), -np.inf)
+                merged[old_map] = old
+                merged[new_map] = np.maximum(merged[new_map], partial)
+            merged_values.append(merged)
+        self.keys = merged_keys
+        self.counts = merged_counts
+        self.values = merged_values
+
+    def to_dict_state(self) -> dict:
+        """Convert to the dict-of-accumulators form (used when a later
+        partition turns out to carry object keys)."""
+        state: dict = {}
+        for g in range(self.num_groups):
+            slot = [_State(s.kind) for s in self.specs]
+            for spec_index, spec in enumerate(self.specs):
+                partial = (
+                    None
+                    if spec.kind == "count"
+                    else self.values[spec_index][g]
+                )
+                slot[spec_index].update(partial, int(self.counts[g]))
+            state[tuple(self.keys[g])] = slot
+        return state
+
+    def to_partition(self, keys, key_dtypes) -> Partition:
+        if self.keys is None:
+            return _empty_group_partition(keys, self.specs)
+        columns = {}
+        for i, key_name in enumerate(keys):
+            arr = self.keys[:, i]
+            if key_dtypes is not None and key_dtypes[i].kind in "iu":
+                arr = arr.astype(np.int64)
+            columns[key_name] = arr
+        for spec_index, spec in enumerate(self.specs):
+            if spec.kind == "count":
+                columns[spec.out_name] = self.counts.copy()
+            elif spec.kind == "mean":
+                columns[spec.out_name] = (
+                    self.values[spec_index] / self.counts
+                )
+            else:
+                columns[spec.out_name] = self.values[spec_index]
+        return Partition(columns)
+
+
+def _empty_group_partition(keys, specs) -> Partition:
+    cols = {k: np.empty(0) for k in keys}
+    cols.update({s.out_name: np.empty(0) for s in specs})
+    return Partition(cols)
+
+
 def _run_group_by(node: P.GroupByAgg, meter):
     keys = node.keys
     specs = node.aggs
-    state: dict[tuple, list[_State]] = {}
+    array_state = _ArrayGroupState(specs)
+    dict_state: dict | None = None  # object-key fallback
     key_dtypes = None
     state_nbytes = 0
 
@@ -116,25 +276,25 @@ def _run_group_by(node: P.GroupByAgg, meter):
         key_arrays = [part.columns[k] for k in keys]
         if key_dtypes is None:
             key_dtypes = [arr.dtype for arr in key_arrays]
-        for spec_index, spec in enumerate(specs):
-            values = (
-                None if spec.column == "*" else part.columns[spec.column]
-            )
-            uniques, partials, counts = partial_aggregate(
-                key_arrays, values, spec.kind
-            )
-            for key, partial, cnt in zip(uniques, partials, counts):
-                slot = state.get(key)
-                if slot is None:
-                    slot = [_State(s.kind) for s in specs]
-                    state[key] = slot
-                slot[spec_index].update(partial, int(cnt))
+        stacked = np.stack([np.asarray(a) for a in key_arrays], axis=1)
+        if dict_state is None and stacked.dtype != object:
+            array_state.update(stacked, part)
+        else:
+            if dict_state is None:
+                dict_state = array_state.to_dict_state()
+            _update_dict_state(dict_state, key_arrays, part, specs)
         if meter is not None:
-            new_nbytes = _estimate_state_nbytes(state, len(specs))
+            if dict_state is not None:
+                new_nbytes = _estimate_state_nbytes(dict_state, len(specs))
+            else:
+                new_nbytes = array_state.nbytes
             meter.allocate(new_nbytes - state_nbytes)
             state_nbytes = new_nbytes
 
-    out = _state_to_partition(state, keys, key_dtypes, specs)
+    if dict_state is not None:
+        out = _state_to_partition(dict_state, keys, key_dtypes, specs)
+    else:
+        out = array_state.to_partition(keys, key_dtypes)
     if meter is not None:
         meter.release(state_nbytes)
         meter.allocate(out.nbytes)
@@ -145,6 +305,20 @@ def _run_group_by(node: P.GroupByAgg, meter):
             meter.release(out.nbytes)
 
 
+def _update_dict_state(state, key_arrays, part, specs) -> None:
+    for spec_index, spec in enumerate(specs):
+        values = None if spec.column == "*" else part.columns[spec.column]
+        uniques, partials, counts = partial_aggregate(
+            key_arrays, values, spec.kind
+        )
+        for key, partial, cnt in zip(uniques, partials, counts):
+            slot = state.get(key)
+            if slot is None:
+                slot = [_State(s.kind) for s in specs]
+                state[key] = slot
+            slot[spec_index].update(partial, int(cnt))
+
+
 def _estimate_state_nbytes(state: dict, num_specs: int) -> int:
     # key tuple (~24B/elem) + accumulator objects (~56B each) + dict slot
     return len(state) * (64 + 24 * 2 + 56 * num_specs)
@@ -152,9 +326,7 @@ def _estimate_state_nbytes(state: dict, num_specs: int) -> int:
 
 def _state_to_partition(state, keys, key_dtypes, specs) -> Partition:
     if not state:
-        cols = {k: np.empty(0) for k in keys}
-        cols.update({s.out_name: np.empty(0) for s in specs})
-        return Partition(cols)
+        return _empty_group_partition(keys, specs)
     key_rows = list(state.keys())
     columns = {}
     for i, key_name in enumerate(keys):
@@ -170,65 +342,271 @@ def _state_to_partition(state, keys, key_dtypes, specs) -> Partition:
     return Partition(columns)
 
 
+# ----------------------------------------------------------------------
+# Join: vectorized key factorization + searchsorted range probes
+# ----------------------------------------------------------------------
+class _ColumnCodec:
+    """Factorization of one build-side key column.
+
+    Numeric columns keep their sorted uniques and map probe values with
+    ``searchsorted``; object columns (strings, geometries) fall back to
+    a value -> code dict.  Probe values absent from the build side get
+    code -1.
+    """
+
+    __slots__ = ("uniques", "mapping", "size", "dense", "base")
+
+    # Dense-range integer keys are coded as ``value - min`` directly —
+    # no factorization pass at all — as long as the implied code range
+    # (and the per-code tables sized by it) stays proportionate to the
+    # build side.  Unused codes in the range simply get count zero.
+    _DENSE_SLACK = 4
+    _DENSE_MIN = 1 << 20
+
+    def __init__(self, arr: np.ndarray):
+        self.dense = False
+        self.base = 0
+        self.uniques = None
+        self.mapping = None
+        if arr.dtype == object:
+            mapping: dict = {}
+            for value in arr:
+                mapping.setdefault(value, len(mapping))
+            self.mapping = mapping
+            self.size = len(mapping)
+            return
+        if arr.dtype.kind in "iub" and len(arr):
+            low, high = int(arr.min()), int(arr.max())
+            span = high - low + 1
+            if (
+                span <= max(self._DENSE_SLACK * len(arr), self._DENSE_MIN)
+                and -(1 << 62) < low
+                and high < (1 << 62)
+            ):
+                self.dense = True
+                self.base = low
+                self.size = span
+                return
+        self.uniques = np.unique(arr)
+        self.size = len(self.uniques)
+
+    def encode_build(self, arr: np.ndarray) -> np.ndarray:
+        return self.encode_probe(arr)
+
+    def encode_probe(self, arr: np.ndarray) -> np.ndarray:
+        if self.mapping is not None or arr.dtype == object:
+            mapping = self.mapping
+            if mapping is None:
+                mapping = {v: i for i, v in enumerate(self.uniques)}
+                self.mapping = mapping
+            return np.fromiter(
+                (mapping.get(v, -1) for v in arr),
+                dtype=np.int64,
+                count=len(arr),
+            )
+        if self.dense:
+            if arr.dtype.kind not in "iub":
+                arr = np.asarray(arr)
+                with np.errstate(invalid="ignore"):
+                    whole = arr.astype(np.int64)
+                    exact = whole == arr
+                offsets = whole - self.base
+                valid = exact & (offsets >= 0) & (offsets < self.size)
+            else:
+                offsets = arr.astype(np.int64) - self.base
+                valid = (offsets >= 0) & (offsets < self.size)
+            return np.where(valid, offsets, -1)
+        idx = np.searchsorted(self.uniques, arr)
+        idx = np.minimum(idx, self.size - 1)
+        with np.errstate(invalid="ignore"):
+            valid = self.uniques[idx] == arr
+        return np.where(valid, idx, -1).astype(np.int64)
+
+    @property
+    def nbytes(self) -> int:
+        if self.uniques is not None:
+            return int(self.uniques.nbytes)
+        if self.dense:
+            return 0  # per-code tables are counted by the build
+        return self.size * 64  # rough dict-entry estimate
+
+
+class _HashJoinBuild:
+    """Build side of the broadcast hash join, fully vectorized.
+
+    Multi-column keys are folded into one dense int64 code per row by
+    factorizing each column, then pairwise combining and re-compressing
+    (keeping magnitudes < n_right² so the fold can never overflow).
+    Because the final codes are dense 0..U-1, the row ranges per code
+    are direct-indexed tables (``bincount`` + prefix sums): probing a
+    left partition costs one encode pass plus fancy indexing, with no
+    per-row Python and no binary search over the build rows.  Within
+    one key the matched build rows keep their original order,
+    preserving the per-row hash table's output ordering.
+    """
+
+    def __init__(self, right: Partition, on: list):
+        self.codecs = []
+        self.combine_uniques = []  # compressed code values per fold step
+        codes = None
+        for name in on:
+            arr = right.columns[name]
+            codec = _ColumnCodec(arr)
+            self.codecs.append(codec)
+            column_codes = codec.encode_build(arr)
+            if codes is None:
+                codes = column_codes
+            else:
+                codes = codes * (codec.size + 1) + column_codes
+                uniques, codes = np.unique(codes, return_inverse=True)
+                codes = codes.reshape(-1).astype(np.int64)
+                self.combine_uniques.append(uniques)
+        self.num_codes = (
+            self.codecs[0].size if len(on) == 1 else len(self.combine_uniques[-1])
+        )
+        self.order = np.argsort(codes, kind="stable")
+        counts = np.bincount(codes, minlength=self.num_codes)
+        self.count_by_code = counts.astype(np.int64)
+        self.start_by_code = np.concatenate(
+            ([0], np.cumsum(self.count_by_code)[:-1])
+        )
+
+    def probe_codes(self, part: Partition, on: list) -> np.ndarray:
+        codes = None
+        step = 0
+        for codec, name in zip(self.codecs, on):
+            column_codes = codec.encode_probe(
+                np.asarray(part.columns[name])
+            )
+            if codes is None:
+                codes = column_codes
+            else:
+                missing = (codes < 0) | (column_codes < 0)
+                codes = codes * (codec.size + 1) + column_codes
+                uniques = self.combine_uniques[step]
+                step += 1
+                idx = np.searchsorted(uniques, codes)
+                idx = np.minimum(idx, len(uniques) - 1)
+                valid = (uniques[idx] == codes) & ~missing
+                codes = np.where(valid, idx, -1).astype(np.int64)
+        return codes
+
+    def probe(self, part: Partition, on: list):
+        """Return (left_idx, right_idx, match_counts) for one left
+        partition, matching the per-row build/probe output order."""
+        codes = self.probe_codes(part, on)
+        hit = codes >= 0
+        safe = np.where(hit, codes, 0)
+        counts = np.where(hit, self.count_by_code[safe], 0)
+        starts = self.start_by_code[safe]
+        total = int(counts.sum())
+        left_idx = np.repeat(
+            np.arange(part.num_rows, dtype=np.int64), counts
+        )
+        cumulative = np.cumsum(counts)
+        within = np.arange(total, dtype=np.int64) - np.repeat(
+            cumulative - counts, counts
+        )
+        right_idx = self.order[np.repeat(starts, counts) + within]
+        return left_idx, right_idx, counts
+
+    @property
+    def nbytes(self) -> int:
+        total = int(
+            self.order.nbytes
+            + self.count_by_code.nbytes
+            + self.start_by_code.nbytes
+        )
+        for codec in self.codecs:
+            total += codec.nbytes
+        for uniques in self.combine_uniques:
+            total += int(uniques.nbytes)
+        return total
+
+
+def _left_join_promote(arr: np.ndarray) -> np.ndarray:
+    """Right-side value columns of a left join are promoted explicitly:
+    integer/bool become float64 so unmatched rows can hold NaN with a
+    dtype that does not depend on which partitions had matches."""
+    if arr.dtype.kind in "iub":
+        return arr.astype(np.float64)
+    return arr
+
+
+def _null_fill(dtype: np.dtype, n: int) -> np.ndarray:
+    """Unmatched-row fill for a right column, sentinel chosen per dtype:
+    NaN for floats (and promoted int/bool), NaT for datetimes, NaN
+    boxed in object arrays otherwise."""
+    if dtype.kind in "iub":
+        return np.full(n, np.nan, dtype=np.float64)
+    if dtype.kind in "fc":
+        return np.full(n, np.nan, dtype=dtype)
+    if dtype.kind in "mM":
+        return np.full(n, dtype.type("NaT"), dtype=dtype)
+    out = np.empty(n, dtype=object)
+    out[:] = np.nan
+    return out
+
+
 def _run_join(node: P.Join, meter):
     # Build side: fully materialize the right input (broadcast join).
-    right_parts = list(iter_partitions(node.right, meter))
-    right_parts = [p for p in right_parts if p.num_rows > 0]
+    right_parts = [
+        p for p in iter_partitions(node.right, meter) if p.num_rows > 0
+    ]
     build_nbytes = sum(p.nbytes for p in right_parts)
     if meter is not None:
         meter.allocate(build_nbytes)
+    probe_nbytes = 0
     try:
-        if right_parts:
-            right = Partition.concat(right_parts)
-        else:
-            right = None
-        table: dict = {}
+        right = Partition.concat(right_parts) if right_parts else None
+        build = None
+        right_value_names: list = []
         if right is not None:
-            key_cols = [right.columns[k] for k in node.on]
-            for i in range(right.num_rows):
-                key = tuple(c[i] for c in key_cols)
-                table.setdefault(key, []).append(i)
-        right_value_names = (
-            [n for n in right.columns if n not in node.on] if right is not None else []
-        )
+            build = _HashJoinBuild(right, node.on)
+            right_value_names = [
+                n for n in right.columns if n not in node.on
+            ]
+            probe_nbytes = build.nbytes
+            if meter is not None:
+                meter.allocate(probe_nbytes)
+        promote = node.how == "left"
 
         for part in iter_partitions(node.left, meter):
             if part.num_rows == 0:
                 continue
-            left_keys = [part.columns[k] for k in node.on]
-            left_idx: list[int] = []
-            right_idx: list[int] = []
-            unmatched: list[int] = []
-            for i in range(part.num_rows):
-                key = tuple(c[i] for c in left_keys)
-                matches = table.get(key)
-                if matches:
-                    left_idx.extend([i] * len(matches))
-                    right_idx.extend(matches)
-                elif node.how == "left":
-                    unmatched.append(i)
-            columns = {}
-            li = np.asarray(left_idx, dtype=np.int64)
-            for name, arr in part.columns.items():
-                columns[name] = arr[li]
-            ri = np.asarray(right_idx, dtype=np.int64)
+            if build is None:
+                left_idx = np.empty(0, dtype=np.int64)
+                right_idx = left_idx
+                counts = np.zeros(part.num_rows, dtype=np.int64)
+            else:
+                left_idx, right_idx, counts = build.probe(part, node.on)
+            columns = {
+                name: arr[left_idx] for name, arr in part.columns.items()
+            }
             for name in right_value_names:
-                columns[name] = right.columns[name][ri]
-            matched_part = Partition(columns)
-            if node.how == "left" and unmatched:
-                ui = np.asarray(unmatched, dtype=np.int64)
-                null_cols = {
-                    name: arr[ui] for name, arr in part.columns.items()
-                }
-                for name in right_value_names:
-                    null_cols[name] = np.full(len(ui), np.nan)
-                matched_part = Partition.concat(
-                    [matched_part, Partition(null_cols)]
+                matched = right.columns[name][right_idx]
+                columns[name] = (
+                    _left_join_promote(matched) if promote else matched
                 )
+            matched_part = Partition(columns)
+            if node.how == "left":
+                unmatched = np.nonzero(counts == 0)[0]
+                if len(unmatched):
+                    null_cols = {
+                        name: arr[unmatched]
+                        for name, arr in part.columns.items()
+                    }
+                    for name in right_value_names:
+                        null_cols[name] = _null_fill(
+                            right.columns[name].dtype, len(unmatched)
+                        )
+                    matched_part = Partition.concat(
+                        [matched_part, Partition(null_cols)]
+                    )
             yield matched_part
     finally:
         if meter is not None:
-            meter.release(build_nbytes)
+            meter.release(build_nbytes + probe_nbytes)
 
 
 def _run_order_by(node: P.OrderBy, meter):
@@ -256,17 +634,26 @@ def _run_repartition(node: P.Repartition, meter):
     if not parts:
         return
     whole = Partition.concat(parts)
-    n = whole.num_rows
-    k = max(1, int(node.num_partitions))
-    bounds = np.linspace(0, n, k + 1).astype(int)
-    for start, stop in zip(bounds[:-1], bounds[1:]):
-        if stop > start:
-            yield Partition(
-                {
-                    name: arr[start:stop]
-                    for name, arr in whole.columns.items()
-                }
-            )
+    # Repartition is a materializing operator like order_by: the whole
+    # dataset is resident while the slices stream out, and the meter
+    # must see it so ablation benches report honest peaks.
+    if meter is not None:
+        meter.allocate(whole.nbytes)
+    try:
+        n = whole.num_rows
+        k = max(1, int(node.num_partitions))
+        bounds = np.linspace(0, n, k + 1).astype(int)
+        for start, stop in zip(bounds[:-1], bounds[1:]):
+            if stop > start:
+                yield Partition(
+                    {
+                        name: arr[start:stop]
+                        for name, arr in whole.columns.items()
+                    }
+                )
+    finally:
+        if meter is not None:
+            meter.release(whole.nbytes)
 
 
 def plan_column_names(node: P.PlanNode) -> list[str]:
@@ -280,6 +667,12 @@ def plan_column_names(node: P.PlanNode) -> list[str]:
     if isinstance(node, P.WithColumn):
         base = plan_column_names(node.child)
         return base + ([node.name] if node.name not in base else [])
+    if isinstance(node, P.WithColumns):
+        base = plan_column_names(node.child)
+        for name, _ in node.items:
+            if name not in base:
+                base = base + [name]
+        return base
     if isinstance(node, P.Drop):
         dropped = set(node.names)
         return [n for n in plan_column_names(node.child) if n not in dropped]

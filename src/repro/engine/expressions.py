@@ -22,6 +22,23 @@ class Expr:
     def alias(self, name: str) -> "Expr":
         return Alias(self, name)
 
+    # -- static introspection (used by the plan optimizer) --------------
+    def references(self) -> set:
+        """Names of the columns this expression reads."""
+        return set()
+
+    def has_udf(self) -> bool:
+        """Whether a user function occurs anywhere in the tree.  UDFs
+        are treated as expensive/opaque: the optimizer never duplicates
+        them via substitution."""
+        return False
+
+    def substitute(self, mapping: dict) -> "Expr":
+        """Return a copy with ``Column`` references replaced by the
+        expressions in ``mapping`` (names absent from the mapping are
+        left as-is)."""
+        return self
+
     # -- operator sugar -------------------------------------------------
     def _binary(self, other, fn, symbol):
         other = other if isinstance(other, Expr) else Literal(other)
@@ -101,6 +118,12 @@ class Column(Expr):
             )
         return partition.columns[self.name]
 
+    def references(self) -> set:
+        return {self.name}
+
+    def substitute(self, mapping: dict) -> Expr:
+        return mapping.get(self.name, self)
+
     def __repr__(self):
         return f"col({self.name!r})"
 
@@ -128,10 +151,25 @@ class BinaryOp(Expr):
         self.left = left
         self.right = right
         self.fn = fn
+        self.symbol = symbol
         self.name = f"({left.name} {symbol} {right.name})"
 
     def evaluate(self, partition: Partition) -> np.ndarray:
         return self.fn(self.left.evaluate(partition), self.right.evaluate(partition))
+
+    def references(self) -> set:
+        return self.left.references() | self.right.references()
+
+    def has_udf(self) -> bool:
+        return self.left.has_udf() or self.right.has_udf()
+
+    def substitute(self, mapping: dict) -> Expr:
+        return BinaryOp(
+            self.left.substitute(mapping),
+            self.right.substitute(mapping),
+            self.fn,
+            self.symbol,
+        )
 
     def __repr__(self):
         return self.name
@@ -141,10 +179,20 @@ class UnaryOp(Expr):
     def __init__(self, operand: Expr, fn, symbol: str):
         self.operand = operand
         self.fn = fn
+        self.symbol = symbol
         self.name = f"({symbol}{operand.name})"
 
     def evaluate(self, partition: Partition) -> np.ndarray:
         return self.fn(self.operand.evaluate(partition))
+
+    def references(self) -> set:
+        return self.operand.references()
+
+    def has_udf(self) -> bool:
+        return self.operand.has_udf()
+
+    def substitute(self, mapping: dict) -> Expr:
+        return UnaryOp(self.operand.substitute(mapping), self.fn, self.symbol)
 
     def __repr__(self):
         return self.name
@@ -158,6 +206,15 @@ class Alias(Expr):
     def evaluate(self, partition: Partition) -> np.ndarray:
         return self.inner.evaluate(partition)
 
+    def references(self) -> set:
+        return self.inner.references()
+
+    def has_udf(self) -> bool:
+        return self.inner.has_udf()
+
+    def substitute(self, mapping: dict) -> Expr:
+        return Alias(self.inner.substitute(mapping), self.name)
+
     def __repr__(self):
         return f"{self.inner!r}.alias({self.name!r})"
 
@@ -169,6 +226,22 @@ class VectorUdf(Expr):
         self.fn = fn
         self.inputs = [i if isinstance(i, Expr) else Column(i) for i in inputs]
         self.name = name or getattr(fn, "__name__", "udf")
+
+    def references(self) -> set:
+        refs: set = set()
+        for expr in self.inputs:
+            refs |= expr.references()
+        return refs
+
+    def has_udf(self) -> bool:
+        return True
+
+    def substitute(self, mapping: dict) -> Expr:
+        return VectorUdf(
+            self.fn,
+            [expr.substitute(mapping) for expr in self.inputs],
+            name=self.name,
+        )
 
     def evaluate(self, partition: Partition) -> np.ndarray:
         args = [expr.evaluate(partition) for expr in self.inputs]

@@ -85,6 +85,26 @@ class WithColumn(PlanNode):
 
 
 @dataclass
+class WithColumns(PlanNode):
+    """Several :class:`WithColumn` steps fused into one operator.
+
+    Produced by the optimizer (never by the DataFrame API): the items
+    are evaluated sequentially against the growing partition, so a
+    chain costs one operator dispatch per partition instead of one per
+    added column.
+    """
+
+    child: PlanNode
+    items: list  # list of (name, Expr), applied in order
+
+    def __post_init__(self):
+        self.children = (self.child,)
+
+    def _label(self):
+        return f"WithColumns[{', '.join(name for name, _ in self.items)}]"
+
+
+@dataclass
 class Drop(PlanNode):
     child: PlanNode
     names: list

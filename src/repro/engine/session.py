@@ -23,12 +23,22 @@ class Session:
     meter:
         Optional :class:`MemoryMeter` observing the engine working set
         (used by the Figure 8 bench).
+    optimize:
+        Run the rule-based logical-plan optimizer before executing
+        (default on).  Turn off for ablation benchmarks or to debug a
+        plan exactly as written.
     """
 
-    def __init__(self, default_parallelism: int = 4, meter: MemoryMeter | None = None):
+    def __init__(
+        self,
+        default_parallelism: int = 4,
+        meter: MemoryMeter | None = None,
+        optimize: bool = True,
+    ):
         check_positive(default_parallelism, "default_parallelism")
         self.default_parallelism = default_parallelism
         self.meter = meter
+        self.optimize = optimize
 
     # ------------------------------------------------------------------
     # DataFrame creation

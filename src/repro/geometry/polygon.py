@@ -24,6 +24,24 @@ class Polygon:
         return self._envelope
 
     @property
+    def is_axis_aligned_rectangle(self) -> bool:
+        """True when the ring is exactly the (non-degenerate) envelope.
+
+        For such polygons ray-casting containment reduces to a
+        half-open interval test, which the spatial join exploits with a
+        vectorized fast path (grid cells are all of this shape)."""
+        env = self._envelope
+        if len(self.vertices) != 4 or env.width <= 0 or env.height <= 0:
+            return False
+        corners = {
+            (env.min_x, env.min_y),
+            (env.min_x, env.max_y),
+            (env.max_x, env.min_y),
+            (env.max_x, env.max_y),
+        }
+        return {(v.x, v.y) for v in self.vertices} == corners
+
+    @property
     def area(self) -> float:
         """Unsigned shoelace area."""
         total = 0.0

@@ -39,15 +39,61 @@ def spatial_join_points_polygons(
     """
     if not polygons:
         raise ValueError("spatial join needs at least one polygon")
+    rects = None
+    if use_index and all(
+        getattr(poly, "is_axis_aligned_rectangle", False)
+        for poly in polygons
+    ):
+        # Fast path: every polygon is an axis-aligned rectangle (the
+        # shape of all grid cells), so ray-casting containment reduces
+        # to the half-open test [min_x, max_x) x [min_y, max_y) and the
+        # whole partition can be matched with one boolean mask per
+        # polygon chunk.  ``argmax`` over the mask picks the lowest
+        # polygon id, the same first-match the scalar loop takes.
+        rects = (
+            np.array([p.envelope.min_x for p in polygons]),
+            np.array([p.envelope.max_x for p in polygons]),
+            np.array([p.envelope.min_y for p in polygons]),
+            np.array([p.envelope.max_y for p in polygons]),
+        )
     tree = (
         STRTree(
             [(poly.envelope, idx) for idx, poly in enumerate(polygons)]
         )
-        if use_index
+        if use_index and rects is None
         else None
     )
 
+    def join_rectangles(part: Partition) -> Partition:
+        xs = np.asarray(part.columns[x_column], dtype=np.float64)
+        ys = np.asarray(part.columns[y_column], dtype=np.float64)
+        min_x, max_x, min_y, max_y = rects
+        num_polys = len(min_x)
+        chunk = max(256, (1 << 22) // num_polys)  # cap mask at ~4MB
+        keep_chunks, id_chunks = [], []
+        for start in range(0, part.num_rows, chunk):
+            cx = xs[start : start + chunk]
+            cy = ys[start : start + chunk]
+            mask = (
+                (cx >= min_x[:, None])
+                & (cx < max_x[:, None])
+                & (cy >= min_y[:, None])
+                & (cy < max_y[:, None])
+            )
+            hit = mask.any(axis=0)
+            first = mask.argmax(axis=0)
+            rows = np.nonzero(hit)[0]
+            keep_chunks.append(rows + start)
+            id_chunks.append(first[rows])
+        idx = np.concatenate(keep_chunks) if keep_chunks else np.empty(0, dtype=np.int64)
+        ids = np.concatenate(id_chunks) if id_chunks else np.empty(0, dtype=np.int64)
+        columns = {name: arr[idx] for name, arr in part.columns.items()}
+        columns[id_alias] = ids.astype(np.int64)
+        return Partition(columns)
+
     def join_partition(part: Partition) -> Partition:
+        if rects is not None:
+            return join_rectangles(part)
         xs = np.asarray(part.columns[x_column], dtype=np.float64)
         ys = np.asarray(part.columns[y_column], dtype=np.float64)
         keep: list[int] = []

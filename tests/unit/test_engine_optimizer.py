@@ -1,0 +1,463 @@
+"""The logical-plan optimizer: each rule firing, each rule correctly
+not firing, and the executor changes that ride along (vectorized join
+dtype policy, repartition metering)."""
+
+import numpy as np
+import pytest
+
+from repro.engine import Session, agg, col, lit, udf
+from repro.engine import plan as P
+from repro.engine.optimizer import optimize, static_columns
+from repro.utils.memory import MemoryMeter
+
+
+@pytest.fixture
+def session():
+    return Session(default_parallelism=2)
+
+
+@pytest.fixture
+def df(session):
+    return session.create_dataframe(
+        {
+            "a": np.array([1, 2, 3, 4], dtype=np.int64),
+            "b": np.array([10.0, 20.0, 30.0, 40.0]),
+            "c": np.array([5.0, 6.0, 7.0, 8.0]),
+        }
+    )
+
+
+def _find(node, node_type):
+    """All nodes of a type in the plan tree (pre-order)."""
+    found = [node] if isinstance(node, node_type) else []
+    for child in node.children:
+        found.extend(_find(child, node_type))
+    return found
+
+
+class TestFilterRules:
+    def test_adjacent_filters_fuse(self, df):
+        plan = df.filter(col("a") > 1).filter(col("b") < 35).plan
+        opt = optimize(plan)
+        filters = _find(opt, P.Filter)
+        assert len(filters) == 1
+
+    def test_filter_pushed_below_project(self, df):
+        plan = df.select((col("a") * 2).alias("x"), "b").filter(col("b") > 15).plan
+        opt = optimize(plan)
+        assert isinstance(opt, P.Project)
+        assert isinstance(opt.child, P.Filter)
+
+    def test_filter_on_computed_column_substituted(self, df):
+        plan = df.select((col("a") * 2).alias("x")).filter(col("x") > 4).plan
+        opt = optimize(plan)
+        # The filter now runs on (a * 2) > 4 below the projection.
+        assert isinstance(opt, P.Project)
+        assert isinstance(opt.child, P.Filter)
+        assert "a" in opt.child.predicate.references()
+
+    def test_filter_pushed_below_with_column(self, df):
+        plan = df.with_column("d", col("a") + 1).filter(col("b") > 15).plan
+        opt = optimize(plan)
+        assert isinstance(opt, (P.WithColumn, P.WithColumns))
+        assert isinstance(opt.children[0], P.Filter)
+
+    def test_filter_not_pushed_past_udf_dependency(self, df):
+        plan = (
+            df.with_column("u", udf(lambda a: a * 2.0, ["a"], name="dbl"))
+            .filter(col("u") > 4)
+            .plan
+        )
+        opt = optimize(plan)
+        # The predicate depends on a UDF-computed column: it must stay
+        # above the WithColumn so the UDF is never duplicated.
+        assert isinstance(opt, P.Filter)
+        assert isinstance(opt.child, (P.WithColumn, P.WithColumns))
+
+    def test_independent_conjunct_pushed_past_udf_column(self, df):
+        plan = (
+            df.with_column("u", udf(lambda a: a * 2.0, ["a"], name="dbl"))
+            .filter((col("u") > 4) & (col("b") > 15))
+            .plan
+        )
+        opt = optimize(plan)
+        # b > 15 slides below the UDF column; u > 4 stays above it.
+        assert isinstance(opt, P.Filter)
+        assert "u" in opt.predicate.references()
+        below = _find(opt.child, P.Filter)
+        assert below and "b" in below[0].predicate.references()
+
+    def test_filter_pushed_below_union(self, df):
+        plan = df.union(df).filter(col("a") > 2).plan
+        opt = optimize(plan)
+        assert isinstance(opt, P.Union)
+        assert all(isinstance(i, P.Filter) for i in opt.inputs)
+
+    def test_filter_pushed_below_order_by(self, df):
+        plan = df.order_by("b").filter(col("a") > 2).plan
+        opt = optimize(plan)
+        assert isinstance(opt, P.OrderBy)
+        assert isinstance(opt.child, P.Filter)
+
+    def test_key_filter_pushed_below_group_by(self, df):
+        plan = (
+            df.group_by("a")
+            .agg(agg.sum_("b", "s"))
+            .filter(col("a") > 1)
+            .plan
+        )
+        opt = optimize(plan)
+        assert isinstance(opt, P.GroupByAgg)
+        assert _find(opt.child, P.Filter)  # filter now below the agg
+
+    def test_aggregate_filter_stays_above_group_by(self, df):
+        plan = (
+            df.group_by("a")
+            .agg(agg.sum_("b", "s"))
+            .filter(col("s") > 10)
+            .plan
+        )
+        opt = optimize(plan)
+        assert isinstance(opt, P.Filter)
+        assert isinstance(opt.child, P.GroupByAgg)
+
+    def test_filter_not_pushed_past_map_partitions(self, df):
+        plan = (
+            df.map_partitions(lambda p: p, label="opaque")
+            .filter(col("a") > 2)
+            .plan
+        )
+        opt = optimize(plan)
+        assert isinstance(opt, P.Filter)
+        assert isinstance(opt.child, P.MapPartitions)
+
+
+class TestJoinFilterPushdown:
+    def _sides(self, session):
+        left = session.create_dataframe(
+            {"k": np.array([1, 2, 3]), "lv": np.array([1.0, 2.0, 3.0])}
+        )
+        right = session.create_dataframe(
+            {"k": np.array([2, 3, 4]), "rv": np.array([20.0, 30.0, 40.0])}
+        )
+        return left, right
+
+    def test_key_filter_reaches_both_sides_inner(self, session):
+        left, right = self._sides(session)
+        plan = left.join(right, on="k").filter(col("k") > 1).plan
+        opt = optimize(plan)
+        join = _find(opt, P.Join)[0]
+        assert isinstance(join.left, P.Filter)
+        assert isinstance(join.right, P.Filter)
+
+    def test_side_filters_reach_their_side(self, session):
+        left, right = self._sides(session)
+        plan = (
+            left.join(right, on="k")
+            .filter((col("lv") > 1) & (col("rv") > 20))
+            .plan
+        )
+        opt = optimize(plan)
+        join = _find(opt, P.Join)[0]
+        assert isinstance(join.left, P.Filter)
+        assert "lv" in join.left.predicate.references()
+        assert isinstance(join.right, P.Filter)
+        assert "rv" in join.right.predicate.references()
+
+    def test_right_filter_not_pushed_on_left_join(self, session):
+        left, right = self._sides(session)
+        plan = (
+            left.join(right, on="k", how="left")
+            .filter(col("rv") > 20)
+            .plan
+        )
+        opt = optimize(plan)
+        # Pushing rv > 20 into the right side would turn unmatched
+        # left rows (rv = NaN) into matched-then-filtered rows.
+        assert isinstance(opt, P.Filter)
+        join = _find(opt, P.Join)[0]
+        assert not isinstance(join.right, P.Filter)
+
+    def test_left_filter_pushed_on_left_join(self, session):
+        left, right = self._sides(session)
+        plan = (
+            left.join(right, on="k", how="left")
+            .filter(col("lv") > 1)
+            .plan
+        )
+        opt = optimize(plan)
+        join = _find(opt, P.Join)[0]
+        assert isinstance(join.left, P.Filter)
+
+
+class TestFusionAndLimit:
+    def test_project_project_fuses(self, df):
+        plan = (
+            df.select((col("a") + 1).alias("x"), "b")
+            .select((col("x") * 2).alias("y"))
+            .plan
+        )
+        opt = optimize(plan)
+        projects = _find(opt, P.Project)
+        assert len(projects) == 1
+        assert isinstance(projects[0].child, P.Source)
+
+    def test_with_column_chain_fuses(self, df):
+        plan = (
+            df.with_column("d", col("a") + 1)
+            .with_column("e", col("d") * 2)
+            .with_column("f", col("e") - col("b"))
+            .plan
+        )
+        opt = optimize(plan)
+        fused = _find(opt, P.WithColumns)
+        assert len(fused) == 1
+        assert [name for name, _ in fused[0].items] == ["d", "e", "f"]
+        assert not _find(opt, P.WithColumn)
+
+    def test_with_column_replace_chain_still_correct(self, session):
+        df = session.create_dataframe({"x": [1.0, 2.0]})
+        out = df.with_column("x", col("x") + 1).with_column("x", col("x") * 10)
+        assert out.collect() == [{"x": 20.0}, {"x": 30.0}]
+
+    def test_limits_fuse_to_minimum(self, df):
+        opt = optimize(df.limit(5).limit(3).plan)
+        limits = _find(opt, P.Limit)
+        assert len(limits) == 1 and limits[0].n == 3
+
+    def test_limit_pushed_below_narrow_ops(self, df):
+        plan = df.select("a", "b").with_column("d", col("a") + 1).limit(2).plan
+        opt = optimize(plan)
+        limit = _find(opt, P.Limit)[0]
+        assert isinstance(limit.child, (P.Source, P.Project))
+
+    def test_limit_not_pushed_below_filter(self, df):
+        plan = df.filter(col("a") > 1).limit(2).plan
+        opt = optimize(plan)
+        assert isinstance(opt, P.Limit)
+        assert isinstance(opt.child, P.Filter)
+
+
+class TestColumnPruning:
+    def test_source_narrowed_to_used_columns(self, df):
+        plan = df.with_column("d", col("a") + 1).select("d").plan
+        opt = optimize(plan)
+        narrowing = [
+            p
+            for p in _find(opt, P.Project)
+            if isinstance(p.child, P.Source)
+        ]
+        assert narrowing
+        assert [name for name, _ in narrowing[0].exprs] == ["a"]
+
+    def test_unused_aggregate_pruned(self, df):
+        plan = (
+            df.group_by("a")
+            .agg(agg.sum_("b", "s"), agg.max_("c", "m"))
+            .select("a", "s")
+            .plan
+        )
+        opt = optimize(plan)
+        gb = _find(opt, P.GroupByAgg)[0]
+        assert [a.out_name for a in gb.aggs] == ["s"]
+
+    def test_join_sides_narrowed(self, session):
+        left = session.create_dataframe(
+            {"k": np.array([1, 2]), "lv": [1.0, 2.0], "junk": [0.0, 0.0]}
+        )
+        right = session.create_dataframe(
+            {"k": np.array([1, 2]), "rv": [5.0, 6.0], "waste": [0.0, 0.0]}
+        )
+        plan = left.join(right, on="k").select("k", "lv", "rv").plan
+        opt = optimize(plan)
+        join = _find(opt, P.Join)[0]
+        assert "junk" not in static_columns(join.left)
+        assert "waste" not in static_columns(join.right)
+
+    def test_pruning_stops_at_map_partitions(self, df):
+        plan = (
+            df.map_partitions(lambda p: p, label="opaque").select("a").plan
+        )
+        opt = optimize(plan)
+        mp = _find(opt, P.MapPartitions)[0]
+        # The opaque function may read anything: the source keeps all
+        # columns below it.
+        assert isinstance(mp.child, P.Source)
+
+    def test_cache_subtree_instance_preserved(self, df):
+        cached = df.select("a", "b").cache()
+        plan = cached.filter(col("a") > 1).plan
+        cache_node = _find(plan, P.Cache)[0]
+        opt = optimize(plan)
+        assert _find(opt, P.Cache)[0] is cache_node
+
+    def test_optimized_results_identical(self, df):
+        out = (
+            df.with_column("d", col("a") * 2)
+            .filter(col("d") > 2)
+            .select("a", "d", "b")
+            .order_by("a")
+        )
+        assert out.collect(optimize=True) == out.collect(optimize=False)
+
+
+class TestWiring:
+    def test_session_flag_off(self):
+        session = Session(default_parallelism=2, optimize=False)
+        df = session.create_dataframe({"a": [1, 2, 3]})
+        assert df.filter(col("a") > 1).count() == 2
+
+    def test_explain_default_is_logical_only(self, df):
+        text = df.select("a").explain()
+        assert "Logical Plan" not in text
+        assert "Project" in text
+
+    def test_explain_optimized_renders_both(self, df):
+        text = df.with_column("d", col("a") + 1).select("d").explain(
+            optimized=True
+        )
+        assert "== Logical Plan ==" in text
+        assert "== Optimized Plan ==" in text
+        # The optimized section shows the narrowed source scan.
+        assert "Project[a]" in text.split("== Optimized Plan ==")[1]
+
+
+class TestLeftJoinDtypePolicy:
+    def _joined(self, session, how="left"):
+        left = session.create_dataframe({"k": np.array([1, 2], dtype=np.int64)})
+        right = session.create_dataframe(
+            {
+                "k": np.array([1], dtype=np.int64),
+                "n": np.array([7], dtype=np.int64),
+                "flag": np.array([True]),
+                "f": np.array([1.5], dtype=np.float64),
+            }
+        )
+        return left.join(right, on="k", how=how).order_by("k")
+
+    def test_int_and_bool_promoted_to_float(self, session):
+        cols = self._joined(session).to_columns()
+        assert cols["n"].dtype == np.float64
+        assert cols["flag"].dtype == np.float64
+        assert cols["n"][0] == 7.0 and np.isnan(cols["n"][1])
+        assert cols["flag"][0] == 1.0 and np.isnan(cols["flag"][1])
+
+    def test_float_column_keeps_dtype(self, session):
+        cols = self._joined(session).to_columns()
+        assert cols["f"].dtype == np.float64
+        assert cols["f"][0] == 1.5 and np.isnan(cols["f"][1])
+
+    def test_promotion_applies_even_when_all_rows_match(self, session):
+        # Dtype must not depend on whether any partition had misses.
+        left = session.create_dataframe({"k": np.array([1], dtype=np.int64)})
+        right = session.create_dataframe(
+            {"k": np.array([1], dtype=np.int64), "n": np.array([7], dtype=np.int64)}
+        )
+        cols = left.join(right, on="k", how="left").to_columns()
+        assert cols["n"].dtype == np.float64
+
+    def test_inner_join_keeps_int_dtype(self, session):
+        left = session.create_dataframe({"k": np.array([1], dtype=np.int64)})
+        right = session.create_dataframe(
+            {"k": np.array([1], dtype=np.int64), "n": np.array([7], dtype=np.int64)}
+        )
+        cols = left.join(right, on="k", how="inner").to_columns()
+        assert cols["n"].dtype == np.int64
+
+
+class TestVectorizedJoinSemantics:
+    def test_duplicate_build_keys_keep_right_order(self, session):
+        left = session.create_dataframe({"k": np.array([1])}, num_partitions=1)
+        right = session.create_dataframe(
+            {"k": np.array([1, 1, 1]), "v": np.array([10.0, 20.0, 30.0])},
+            num_partitions=2,
+        )
+        rows = left.join(right, on="k").collect()
+        assert [r["v"] for r in rows] == [10.0, 20.0, 30.0]
+
+    def test_multi_column_keys(self, session):
+        left = session.create_dataframe(
+            {
+                "a": np.array([1, 1, 2, 9]),
+                "b": np.array([1, 2, 1, 9]),
+                "lv": np.array([0.1, 0.2, 0.3, 0.4]),
+            }
+        )
+        right = session.create_dataframe(
+            {
+                "a": np.array([1, 2, 1]),
+                "b": np.array([2, 1, 9]),
+                "rv": np.array([12.0, 21.0, 19.0]),
+            }
+        )
+        rows = left.join(right, on=["a", "b"]).collect()
+        got = {(r["a"], r["b"]): r["rv"] for r in rows}
+        assert got == {(1, 2): 12.0, (2, 1): 21.0}
+
+    def test_object_keys(self, session):
+        left = session.create_dataframe(
+            {"k": ["x", "y", "z"], "lv": [1.0, 2.0, 3.0]}
+        )
+        right = session.create_dataframe({"k": ["y", "x"], "rv": [25.0, 15.0]})
+        rows = left.join(right, on="k").collect()
+        got = {r["k"]: r["rv"] for r in rows}
+        assert got == {"x": 15.0, "y": 25.0}
+
+    def test_left_join_preserves_left_order(self, session):
+        left = session.create_dataframe(
+            {"k": np.array([3, 1, 7, 1])}, num_partitions=1
+        )
+        right = session.create_dataframe({"k": np.array([1]), "v": [9.0]})
+        rows = left.join(right, on="k", how="left").collect()
+        # Matched rows first (left order), then unmatched (left order):
+        # the per-row implementation's per-partition layout.
+        assert [r["k"] for r in rows] == [1, 1, 3, 7]
+
+
+class TestVectorizedGroupBySemantics:
+    def test_mid_stream_object_key_conversion(self):
+        session = Session(default_parallelism=1)
+        a = session.create_dataframe(
+            {"k": np.array([1, 2], dtype=np.int64), "v": [1.0, 2.0]}
+        )
+        bk = np.empty(2, dtype=object)
+        bk[:] = [1, 3]
+        b = session.create_dataframe({"k": bk, "v": [10.0, 20.0]})
+        rows = a.union(b).group_by("k").agg(agg.sum_("v", "s")).collect()
+        got = {int(r["k"]): r["s"] for r in rows}
+        assert got == {1: 11.0, 2: 2.0, 3: 20.0}
+
+    def test_many_partitions_merge(self):
+        session = Session(default_parallelism=7)
+        n = 1000
+        df = session.create_dataframe(
+            {
+                "k": np.arange(n, dtype=np.int64) % 13,
+                "v": np.ones(n, dtype=np.float64),
+            }
+        )
+        rows = (
+            df.group_by("k")
+            .agg(agg.count(name="n"), agg.sum_("v", "s"),
+                 agg.min_("v", "lo"), agg.max_("v", "hi"),
+                 agg.mean("v", "m"))
+            .collect()
+        )
+        assert len(rows) == 13
+        assert sum(r["n"] for r in rows) == n
+        for r in rows:
+            assert r["s"] == r["n"] and r["lo"] == 1.0 and r["hi"] == 1.0
+            assert r["m"] == 1.0
+
+
+class TestRepartitionMetering:
+    def test_repartition_materialization_is_metered(self):
+        meter = MemoryMeter()
+        session = Session(default_parallelism=4, meter=meter)
+        n = 10_000
+        df = session.create_dataframe({"x": np.arange(n, dtype=np.float64)})
+        df.repartition(2).count()
+        # The whole dataset is resident during the reshuffle and the
+        # meter must see it (it previously only saw single partitions).
+        assert meter.peak >= n * 8
+        assert meter.current == 0
