@@ -23,6 +23,7 @@ if os.path.join(_REPO_ROOT, "src") not in sys.path:
 
 import numpy as np  # noqa: E402
 
+from repro import obs  # noqa: E402
 from repro.engine import Session, agg, col, udf  # noqa: E402
 
 JOIN_ROWS = 50_000
@@ -144,6 +145,46 @@ def bench_optimizer() -> dict:
     return timings
 
 
+def bench_observability() -> dict:
+    """Cost of on-by-default instrumentation on the join workload:
+    the same count() with the obs layer enabled vs disabled.  The
+    acceptance bar is < 10% overhead (instrumentation is per
+    partition, never per row, so it should be far under).  Runs a 4x
+    larger join than bench_join so per-count time (~15ms) dwarfs
+    scheduler jitter."""
+    left_cols, right_cols = make_join_inputs(n=4 * JOIN_ROWS)
+    session = Session(default_parallelism=4)
+    left = session.create_dataframe(left_cols)
+    right = session.create_dataframe(right_cols)
+    joined = left.join(right, on="k")
+
+    joined.count()  # warm both paths once
+    with obs.disabled():
+        joined.count()
+
+    # Best-of-N with the two paths interleaved: the join count is a
+    # few ms, so separate measurement loops would let clock drift /
+    # turbo state masquerade as instrumentation overhead.
+    repeats = 9
+    obs_on_s = obs_off_s = float("inf")
+    rows_on = rows_off = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        rows_on = joined.count()
+        obs_on_s = min(obs_on_s, time.perf_counter() - started)
+        with obs.disabled():
+            started = time.perf_counter()
+            rows_off = joined.count()
+            obs_off_s = min(obs_off_s, time.perf_counter() - started)
+
+    assert rows_on == rows_off
+    return {
+        "join_obs_on_s": obs_on_s,
+        "join_obs_off_s": obs_off_s,
+        "obs_overhead_ratio": obs_on_s / obs_off_s,
+    }
+
+
 def bench_fig8_leg(n: int = 50_000) -> dict:
     from repro.experiments.fig8 import make_records, run_engine_prep
 
@@ -156,15 +197,32 @@ def bench_fig8_leg(n: int = 50_000) -> dict:
 
 
 def main() -> dict:
+    obs.reset()  # per-operator breakdown covers exactly this run
     results: dict = {}
-    for stage in (bench_join, bench_groupby, bench_optimizer, bench_fig8_leg):
+    stages = (
+        bench_join,
+        bench_groupby,
+        bench_optimizer,
+        bench_observability,
+        bench_fig8_leg,
+    )
+    for stage in stages:
         results.update(stage())
+    # Per-operator attribution of the run above (rows, partitions,
+    # seconds, peak partition bytes per physical operator), from the
+    # process-wide metrics registry.
+    results["operators"] = obs.export.operator_breakdown()
     path = os.path.join(_REPO_ROOT, "BENCH_engine.json")
     with open(path, "w") as handle:
         json.dump(results, handle, indent=2, sort_keys=True)
         handle.write("\n")
     for key in sorted(results):
+        if key == "operators":
+            continue
         print(f"{key}: {results[key]}")
+    print("per-operator breakdown:")
+    for op, fields in results["operators"].items():
+        print(f"  {op}: {fields}")
     print(f"\nwrote {path}")
     return results
 

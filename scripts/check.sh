@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Repo health check, three gates:
+#   1. tier-1: the full test suite (what the roadmap pins)
+#   2. fast lane: unit tests minus anything marked slow
+#   3. bench smoke: benchmarks/run_quick.py runs to completion and
+#      regenerates BENCH_engine.json (incl. per-operator breakdown)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1: full suite =="
+python -m pytest -x -q
+
+echo "== fast lane: unit, not slow =="
+python -m pytest tests/unit -q -m "not slow"
+
+echo "== bench smoke: run_quick =="
+python benchmarks/run_quick.py
+
+echo "All checks passed."

@@ -48,9 +48,20 @@ class RowTransformer:
 
     def __iter__(self):
         if isinstance(self.spec, SpatiotemporalSpec):
-            yield from self._iter_spatiotemporal()
+            source = self._iter_spatiotemporal()
         else:
-            yield from self._iter_samples()
+            source = self._iter_samples()
+        from repro import obs
+
+        if not obs.enabled():
+            yield from source
+            return
+        batches = obs.registry.counter("converter.batches")
+        samples = obs.registry.counter("converter.samples")
+        for batch in source:
+            batches.inc()
+            samples.inc(len(batch[0].data))
+            yield batch
 
     def _raw_samples(self):
         for part in self.df.iter_partitions():
@@ -64,13 +75,21 @@ class RowTransformer:
                 yield (x, ys[i]) if fs is None else (x, ys[i], fs[i])
 
     def _shuffled_samples(self):
+        from repro import obs
+
+        occupancy = obs.registry.histogram("converter.shuffle_buffer_occupancy")
         buffer: list[tuple] = []
         for sample in self._raw_samples():
             buffer.append(sample)
             if len(buffer) > self.shuffle_buffer:
+                # Observed at emission: how full the reservoir ran
+                # (per-emit, but bounded by the sample count and
+                # no-op when the obs layer is disabled).
+                occupancy.observe(len(buffer))
                 index = int(self._rng.integers(len(buffer)))
                 buffer[index], buffer[-1] = buffer[-1], buffer[index]
                 yield buffer.pop()
+        occupancy.observe(len(buffer))
         self._rng.shuffle(buffer)
         yield from buffer
 

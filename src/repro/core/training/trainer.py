@@ -74,21 +74,33 @@ class Trainer:
         self.training_mode = training_mode
         self.grad_clip = grad_clip
 
-    def _clip_gradients(self) -> None:
-        """Scale all gradients so their global L2 norm is at most
-        ``grad_clip`` — the standard guard against the divergence
-        spikes saturating heads (tanh) provoke under Adam."""
+    def _global_grad_norm(self) -> float:
+        """Global L2 norm over all parameter gradients."""
         import numpy as np
 
         total = 0.0
-        params = [p for p in self.model.parameters() if p.grad is not None]
-        for param in params:
-            total += float((param.grad.astype(np.float64) ** 2).sum())
-        norm = total**0.5
+        for param in self.model.parameters():
+            if param.grad is not None:
+                total += float((param.grad.astype(np.float64) ** 2).sum())
+        return total**0.5
+
+    def _clip_gradients(self) -> None:
+        """Scale all gradients so their global L2 norm is at most
+        ``grad_clip`` — the standard guard against the divergence
+        spikes saturating heads (tanh) provoke under Adam.
+
+        The norm (computed anyway for clipping) is recorded into the
+        ``trainer.grad_norm`` histogram; no extra passes are made when
+        clipping is off."""
+        from repro import obs
+
+        norm = self._global_grad_norm()
+        obs.registry.histogram("trainer.grad_norm").observe(norm)
         if norm > self.grad_clip:
             scale = self.grad_clip / norm
-            for param in params:
-                param.grad *= scale
+            for param in self.model.parameters():
+                if param.grad is not None:
+                    param.grad *= scale
 
     # ------------------------------------------------------------------
     def train_epoch(self, loader) -> float:
@@ -146,11 +158,19 @@ class Trainer:
     ) -> TrainingResult:
         """Train for up to ``epochs``, optionally early-stopping on
         validation loss."""
+        from repro import obs
+
         result = TrainingResult()
         for epoch in range(epochs):
-            started = time.perf_counter()
-            train_loss = self.train_epoch(train_loader)
-            result.epoch_seconds.append(time.perf_counter() - started)
+            with obs.tracer.span("trainer.epoch") as span:
+                started = time.perf_counter()
+                train_loss = self.train_epoch(train_loader)
+                elapsed = time.perf_counter() - started
+            span.set("epoch", epoch + 1)
+            span.set("train_loss", train_loss)
+            obs.registry.histogram("trainer.epoch_seconds").observe(elapsed)
+            obs.registry.histogram("trainer.train_loss").observe(train_loss)
+            result.epoch_seconds.append(elapsed)
             result.train_losses.append(train_loss)
             result.epochs_run = epoch + 1
             if val_loader is not None:

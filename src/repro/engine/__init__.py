@@ -46,6 +46,12 @@ O(partition): ``order_by``, ``repartition`` (buffer everything before
 emitting), ``cache`` (keeps results resident), the build side of
 ``join``, and the per-group state of ``group_by().agg``.  All of them
 report through the attached ``MemoryMeter``.
+
+Every action is metered by :mod:`repro.obs` (on by default, one
+switch, per-partition cost only): per-operator rows / partitions /
+time / peak partition bytes land in ``repro.obs.registry`` and on
+``session.last_plan_stats``, and ``df.explain(analyze=True)`` runs
+the plan and renders the tree annotated with the live stats.
 """
 
 from repro.engine.session import Session

@@ -31,11 +31,28 @@ class DataFrame:
         """Output column names (derived statically from the plan)."""
         return plan_column_names(self.plan)
 
-    def explain(self, optimized: bool = False) -> str:
+    def explain(self, optimized: bool = False, analyze: bool = False) -> str:
         """Return the logical plan as an indented tree.
 
         With ``optimized=True``, render both the plan as written and
-        the plan after the rule-based optimizer has rewritten it."""
+        the plan after the rule-based optimizer has rewritten it.
+
+        With ``analyze=True``, *execute* the plan (as the session
+        would run it, optimizer included) and render the executed tree
+        annotated with live per-operator statistics — rows in/out,
+        partitions, cumulative wall time, and the largest partition
+        each operator emitted (Spark's ``EXPLAIN ANALYZE``)."""
+        if analyze:
+            from repro.obs import PlanStats
+
+            plan = self._execution_plan()
+            stats = PlanStats()
+            for _ in iter_partitions(
+                plan, meter=self.session.meter, stats=stats
+            ):
+                pass
+            stats.flush_to_registry(plan)
+            return "== Analyzed Plan ==\n" + stats.render(plan)
         if not optimized:
             return self.plan.describe()
         from repro.engine.optimizer import optimize as _optimize
@@ -137,10 +154,35 @@ class DataFrame:
 
     def iter_partitions(self, optimize: bool | None = None):
         """Stream result partitions (the out-of-core access path used
-        by the DFtoTorch converter)."""
-        return iter_partitions(
-            self._execution_plan(optimize), meter=self.session.meter
-        )
+        by the DFtoTorch converter).
+
+        When the observability layer is enabled (the default), the run
+        is metered: per-operator stats land in ``repro.obs.registry``
+        under ``engine.op.<Operator>.*`` and the most recent run's
+        :class:`~repro.obs.PlanStats` is kept on
+        ``session.last_plan_stats``.  Metering reads partition sizes
+        and clocks only — results are identical either way."""
+        from repro import obs
+
+        plan = self._execution_plan(optimize)
+        if not obs.enabled():
+            return iter_partitions(plan, meter=self.session.meter)
+        return self._observed_partitions(plan)
+
+    def _observed_partitions(self, plan: P.PlanNode):
+        from repro.obs import PlanStats
+
+        stats = PlanStats()
+        self.session.last_plan_stats = stats
+        self.session.last_plan = plan
+        try:
+            yield from iter_partitions(
+                plan, meter=self.session.meter, stats=stats
+            )
+        finally:
+            # Flush even when the consumer stops early (limit / take):
+            # whatever was pulled is what the registry should see.
+            stats.flush_to_registry(plan)
 
     def collect(self, optimize: bool | None = None) -> list[dict]:
         """Materialize all rows as dicts (test/debug path)."""

@@ -31,56 +31,71 @@ from repro.engine.aggregates import _State, partial_aggregate
 from repro.engine.partition import Partition
 
 
-def iter_partitions(node: P.PlanNode, meter=None):
-    """Yield the partitions produced by a plan node."""
+def iter_partitions(node: P.PlanNode, meter=None, stats=None):
+    """Yield the partitions produced by a plan node.
+
+    ``stats`` (a :class:`repro.obs.PlanStats`) meters every operator
+    in the tree: rows-out, partitions, cumulative wall time, and peak
+    partition bytes per node.  With ``stats=None`` (the default for
+    direct calls) execution is entirely unwrapped — the no-op fast
+    path.  Metering only observes pulled partitions; it never touches
+    their contents, so traced results are bit-identical to untraced
+    ones.
+    """
+    if stats is None:
+        return _iter_node(node, meter, None)
+    return stats.observe(node, _iter_node(node, meter, stats))
+
+
+def _iter_node(node: P.PlanNode, meter, stats):
     if isinstance(node, P.Source):
         yield from _run_source(node, meter)
     elif isinstance(node, P.Project):
-        for part in iter_partitions(node.child, meter):
+        for part in iter_partitions(node.child, meter, stats):
             yield Partition(
                 {name: expr.evaluate(part) for name, expr in node.exprs}
             )
     elif isinstance(node, P.Filter):
-        for part in iter_partitions(node.child, meter):
+        for part in iter_partitions(node.child, meter, stats):
             keep = np.asarray(node.predicate.evaluate(part), dtype=bool)
             yield part.mask(keep)
     elif isinstance(node, P.WithColumn):
-        for part in iter_partitions(node.child, meter):
+        for part in iter_partitions(node.child, meter, stats):
             yield part.with_column(node.name, node.expr.evaluate(part))
     elif isinstance(node, P.WithColumns):
-        for part in iter_partitions(node.child, meter):
+        for part in iter_partitions(node.child, meter, stats):
             for name, expr in node.items:
                 part = part.with_column(name, expr.evaluate(part))
             yield part
     elif isinstance(node, P.Drop):
-        for part in iter_partitions(node.child, meter):
+        for part in iter_partitions(node.child, meter, stats):
             yield part.drop(node.names)
     elif isinstance(node, P.Union):
         for child in node.inputs:
-            yield from iter_partitions(child, meter)
+            yield from iter_partitions(child, meter, stats)
     elif isinstance(node, P.Limit):
-        yield from _run_limit(node, meter)
+        yield from _run_limit(node, meter, stats)
     elif isinstance(node, P.MapPartitions):
-        for part in iter_partitions(node.child, meter):
+        for part in iter_partitions(node.child, meter, stats):
             yield node.fn(part)
     elif isinstance(node, P.GroupByAgg):
-        yield from _run_group_by(node, meter)
+        yield from _run_group_by(node, meter, stats)
     elif isinstance(node, P.Join):
-        yield from _run_join(node, meter)
+        yield from _run_join(node, meter, stats)
     elif isinstance(node, P.OrderBy):
-        yield from _run_order_by(node, meter)
+        yield from _run_order_by(node, meter, stats)
     elif isinstance(node, P.Repartition):
-        yield from _run_repartition(node, meter)
+        yield from _run_repartition(node, meter, stats)
     elif isinstance(node, P.Cache):
-        yield from _run_cache(node, meter)
+        yield from _run_cache(node, meter, stats)
     else:
         raise TypeError(f"unknown plan node {type(node).__name__}")
 
 
-def _run_cache(node: P.Cache, meter):
+def _run_cache(node: P.Cache, meter, stats=None):
     if node.materialized is None:
         materialized = []
-        for part in iter_partitions(node.child, meter):
+        for part in iter_partitions(node.child, meter, stats):
             if meter is not None:
                 meter.allocate(part.nbytes)  # stays resident (no release)
             materialized.append(part)
@@ -101,9 +116,9 @@ def _run_source(node: P.Source, meter):
                 meter.release(nbytes)
 
 
-def _run_limit(node: P.Limit, meter):
+def _run_limit(node: P.Limit, meter, stats=None):
     remaining = node.n
-    for part in iter_partitions(node.child, meter):
+    for part in iter_partitions(node.child, meter, stats):
         if remaining <= 0:
             return
         if part.num_rows <= remaining:
@@ -260,7 +275,7 @@ def _empty_group_partition(keys, specs) -> Partition:
     return Partition(cols)
 
 
-def _run_group_by(node: P.GroupByAgg, meter):
+def _run_group_by(node: P.GroupByAgg, meter, stats=None):
     keys = node.keys
     specs = node.aggs
     array_state = _ArrayGroupState(specs)
@@ -268,7 +283,7 @@ def _run_group_by(node: P.GroupByAgg, meter):
     key_dtypes = None
     state_nbytes = 0
 
-    for part in iter_partitions(node.child, meter):
+    for part in iter_partitions(node.child, meter, stats):
         if part.num_rows == 0:
             if key_dtypes is None and all(k in part.columns for k in keys):
                 key_dtypes = [part.columns[k].dtype for k in keys]
@@ -548,10 +563,10 @@ def _null_fill(dtype: np.dtype, n: int) -> np.ndarray:
     return out
 
 
-def _run_join(node: P.Join, meter):
+def _run_join(node: P.Join, meter, stats=None):
     # Build side: fully materialize the right input (broadcast join).
     right_parts = [
-        p for p in iter_partitions(node.right, meter) if p.num_rows > 0
+        p for p in iter_partitions(node.right, meter, stats) if p.num_rows > 0
     ]
     build_nbytes = sum(p.nbytes for p in right_parts)
     if meter is not None:
@@ -571,7 +586,7 @@ def _run_join(node: P.Join, meter):
                 meter.allocate(probe_nbytes)
         promote = node.how == "left"
 
-        for part in iter_partitions(node.left, meter):
+        for part in iter_partitions(node.left, meter, stats):
             if part.num_rows == 0:
                 continue
             if build is None:
@@ -609,8 +624,10 @@ def _run_join(node: P.Join, meter):
             meter.release(build_nbytes + probe_nbytes)
 
 
-def _run_order_by(node: P.OrderBy, meter):
-    parts = [p for p in iter_partitions(node.child, meter) if p.num_rows > 0]
+def _run_order_by(node: P.OrderBy, meter, stats=None):
+    parts = [
+        p for p in iter_partitions(node.child, meter, stats) if p.num_rows > 0
+    ]
     if not parts:
         return
     whole = Partition.concat(parts)
@@ -629,8 +646,10 @@ def _run_order_by(node: P.OrderBy, meter):
             meter.release(whole.nbytes)
 
 
-def _run_repartition(node: P.Repartition, meter):
-    parts = [p for p in iter_partitions(node.child, meter) if p.num_rows > 0]
+def _run_repartition(node: P.Repartition, meter, stats=None):
+    parts = [
+        p for p in iter_partitions(node.child, meter, stats) if p.num_rows > 0
+    ]
     if not parts:
         return
     whole = Partition.concat(parts)

@@ -39,6 +39,10 @@ class Session:
         self.default_parallelism = default_parallelism
         self.meter = meter
         self.optimize = optimize
+        # Most recent metered execution (set by DataFrame actions when
+        # repro.obs is enabled): the executed plan and its PlanStats.
+        self.last_plan = None
+        self.last_plan_stats = None
 
     # ------------------------------------------------------------------
     # DataFrame creation

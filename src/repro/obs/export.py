@@ -1,0 +1,74 @@
+"""Metrics export: snapshot the registry (and optionally traces) as
+plain dicts / JSON.
+
+Schema (``schema_version`` 1)::
+
+    {
+      "schema_version": 1,
+      "metrics": {
+        "counters":   {"<name>": <number>, ...},
+        "gauges":     {"<name>": <number>, ...},
+        "histograms": {"<name>": {"count": int, "sum": float,
+                                   "min": float, "max": float,
+                                   "mean": float, "p50": float,
+                                   "p90": float, "p99": float}, ...}
+      },
+      "traces": [<span dict>, ...]          # only when include_traces
+    }
+
+Per-operator engine metrics live under ``engine.op.<Operator>.*``;
+:func:`operator_breakdown` regroups them into one dict per operator,
+which is what ``benchmarks/run_quick.py`` embeds in
+``BENCH_engine.json``.
+"""
+
+from __future__ import annotations
+
+import json
+
+SCHEMA_VERSION = 1
+
+
+def snapshot(registry=None, tracer=None, include_traces: bool = False) -> dict:
+    """One JSON-serializable dict of everything recorded so far."""
+    from repro import obs
+
+    registry = registry if registry is not None else obs.registry
+    out = {"schema_version": SCHEMA_VERSION, "metrics": registry.snapshot()}
+    if include_traces:
+        tracer = tracer if tracer is not None else obs.tracer
+        out["traces"] = [span.to_dict() for span in tracer.roots]
+    return out
+
+
+def dump_json(path: str, registry=None, tracer=None, include_traces: bool = False) -> dict:
+    """Write :func:`snapshot` to ``path``; returns the snapshot."""
+    snap = snapshot(registry, tracer, include_traces=include_traces)
+    with open(path, "w") as handle:
+        json.dump(snap, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return snap
+
+
+def operator_breakdown(registry=None) -> dict:
+    """Regroup ``engine.op.<Op>.<field>`` metrics per operator::
+
+        {"Join": {"rows_out": ..., "partitions": ..., "seconds": ...,
+                  "peak_partition_bytes": ...}, ...}
+    """
+    from repro import obs
+
+    registry = registry if registry is not None else obs.registry
+    snap = registry.snapshot()
+    merged = dict(snap["counters"])
+    merged.update(snap["gauges"])
+    out: dict = {}
+    for name, value in merged.items():
+        if not name.startswith("engine.op."):
+            continue
+        _, _, rest = name.partition("engine.op.")
+        op, _, field = rest.partition(".")
+        if not field:
+            continue
+        out.setdefault(op, {})[field] = value
+    return {op: dict(sorted(fields.items())) for op, fields in sorted(out.items())}

@@ -1,0 +1,115 @@
+"""Span-based tracing: nested timed regions with attached counters.
+
+A :class:`Span` is one timed region; entering a span inside another
+records parent/child nesting, so a trace reads like a call tree
+(epoch -> batch -> forward/backward, or action -> operator).  Spans
+always measure wall time when the tracer is enabled — they are the
+single timing substrate (``repro.utils.timing.Stopwatch`` delegates
+here) — and a disabled tracer hands out a shared no-op span with zero
+overhead beyond one attribute check.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from contextlib import contextmanager
+
+
+class Span:
+    """One timed region.  ``elapsed_s`` is valid after the region
+    exits; ``counters``/``attrs`` hold whatever the instrumented code
+    attached while the span was open."""
+
+    __slots__ = ("name", "parent", "children", "elapsed_s", "counters", "attrs")
+
+    def __init__(self, name: str, parent: "Span | None" = None):
+        self.name = name
+        self.parent = parent
+        self.children: list[Span] = []
+        self.elapsed_s = 0.0
+        self.counters: dict = {}
+        self.attrs: dict = {}
+
+    def add(self, counter: str, amount=1) -> None:
+        """Accumulate a named counter on this span."""
+        self.counters[counter] = self.counters.get(counter, 0) + amount
+
+    def set(self, key: str, value) -> None:
+        """Attach a key/value attribute to this span."""
+        self.attrs[key] = value
+
+    def to_dict(self) -> dict:
+        """Recursive plain-dict form (JSON-serializable)."""
+        out: dict = {"name": self.name, "elapsed_s": self.elapsed_s}
+        if self.counters:
+            out["counters"] = dict(self.counters)
+        if self.attrs:
+            out["attrs"] = dict(self.attrs)
+        if self.children:
+            out["children"] = [c.to_dict() for c in self.children]
+        return out
+
+
+class _NullSpan:
+    """Shared no-op span handed out by a disabled tracer."""
+
+    __slots__ = ()
+    name = ""
+    parent = None
+    children: list = []
+    elapsed_s = 0.0
+    counters: dict = {}
+    attrs: dict = {}
+
+    def add(self, counter, amount=1):
+        pass
+
+    def set(self, key, value):
+        pass
+
+    def to_dict(self):
+        return {}
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Creates spans and keeps the active nesting stack.
+
+    Finished root spans are retained in ``roots`` (a bounded deque —
+    old traces fall off rather than growing without limit) for
+    inspection and export.
+    """
+
+    def __init__(self, enabled: bool = True, max_roots: int = 1024):
+        self.enabled = enabled
+        self.roots: deque[Span] = deque(maxlen=max_roots)
+        self._stack: list[Span] = []
+
+    @property
+    def current(self) -> Span | None:
+        return self._stack[-1] if self._stack else None
+
+    @contextmanager
+    def span(self, name: str):
+        if not self.enabled:
+            yield NULL_SPAN
+            return
+        span = Span(name, parent=self.current)
+        self._stack.append(span)
+        started = time.perf_counter()
+        try:
+            yield span
+        finally:
+            span.elapsed_s = time.perf_counter() - started
+            self._stack.pop()
+            if span.parent is not None:
+                span.parent.children.append(span)
+            else:
+                self.roots.append(span)
+
+    def reset(self) -> None:
+        self.roots.clear()
+        self._stack.clear()

@@ -64,6 +64,19 @@ def spatial_join_points_polygons(
         else None
     )
 
+    def _record(probes: int, candidates: int, emitted: int) -> None:
+        # Per-partition totals (never per row) into the process-wide
+        # registry: how many points probed the index, how many
+        # candidate pairs the index (or mask / brute force) produced,
+        # and how many pairs the join actually emitted.
+        from repro import obs
+
+        if not obs.enabled():
+            return
+        obs.registry.counter("spatial_join.index_probes").inc(probes)
+        obs.registry.counter("spatial_join.candidate_pairs").inc(candidates)
+        obs.registry.counter("spatial_join.emitted_pairs").inc(emitted)
+
     def join_rectangles(part: Partition) -> Partition:
         xs = np.asarray(part.columns[x_column], dtype=np.float64)
         ys = np.asarray(part.columns[y_column], dtype=np.float64)
@@ -71,6 +84,7 @@ def spatial_join_points_polygons(
         num_polys = len(min_x)
         chunk = max(256, (1 << 22) // num_polys)  # cap mask at ~4MB
         keep_chunks, id_chunks = [], []
+        candidate_pairs = 0
         for start in range(0, part.num_rows, chunk):
             cx = xs[start : start + chunk]
             cy = ys[start : start + chunk]
@@ -80,6 +94,7 @@ def spatial_join_points_polygons(
                 & (cy >= min_y[:, None])
                 & (cy < max_y[:, None])
             )
+            candidate_pairs += int(mask.sum())
             hit = mask.any(axis=0)
             first = mask.argmax(axis=0)
             rows = np.nonzero(hit)[0]
@@ -87,6 +102,7 @@ def spatial_join_points_polygons(
             id_chunks.append(first[rows])
         idx = np.concatenate(keep_chunks) if keep_chunks else np.empty(0, dtype=np.int64)
         ids = np.concatenate(id_chunks) if id_chunks else np.empty(0, dtype=np.int64)
+        _record(part.num_rows, candidate_pairs, len(idx))
         columns = {name: arr[idx] for name, arr in part.columns.items()}
         columns[id_alias] = ids.astype(np.int64)
         return Partition(columns)
@@ -98,6 +114,7 @@ def spatial_join_points_polygons(
         ys = np.asarray(part.columns[y_column], dtype=np.float64)
         keep: list[int] = []
         ids: list[int] = []
+        candidate_pairs = 0
         for i in range(part.num_rows):
             point = Point(xs[i], ys[i])
             if tree is not None:
@@ -105,10 +122,12 @@ def spatial_join_points_polygons(
             else:
                 candidates = range(len(polygons))
             for poly_id in candidates:
+                candidate_pairs += 1
                 if polygons[poly_id].contains_point(point):
                     keep.append(i)
                     ids.append(poly_id)
                     break
+        _record(part.num_rows, candidate_pairs, len(keep))
         idx = np.asarray(keep, dtype=np.int64)
         columns = {name: arr[idx] for name, arr in part.columns.items()}
         columns[id_alias] = np.asarray(ids, dtype=np.int64)

@@ -1,4 +1,12 @@
-"""Wall-clock timing helpers used by the benchmark harnesses."""
+"""Wall-clock timing helpers used by the benchmark harnesses.
+
+Timing is delegated to :mod:`repro.obs` spans so the codebase has one
+timing substrate: a ``Stopwatch.lap`` opens a ``stopwatch.<name>``
+span on the process-wide tracer (nesting under whatever span is
+already open) and accumulates its elapsed time.  Laps keep working
+when the observability layer is disabled — the stopwatch falls back
+to timing the block directly.
+"""
 
 from __future__ import annotations
 
@@ -22,19 +30,38 @@ class Stopwatch:
 
     @contextmanager
     def lap(self, name: str):
-        start = time.perf_counter()
+        from repro import obs
+
+        span_cm = obs.tracer.span(f"stopwatch.{name}")
+        span = span_cm.__enter__()
+        started = time.perf_counter()
         try:
             yield self
         finally:
-            elapsed = time.perf_counter() - start
+            fallback = time.perf_counter() - started
+            span_cm.__exit__(None, None, None)
+            # The span's clock is the substrate; a disabled tracer
+            # hands out a null span (elapsed 0), so time directly.
+            elapsed = span.elapsed_s or fallback
             self.laps[name] = self.laps.get(name, 0.0) + elapsed
 
     @property
     def total(self) -> float:
         return sum(self.laps.values())
 
+    def as_dict(self) -> dict:
+        """Laps in sorted-name order plus ``total`` (stable for
+        serialization and report diffing)."""
+        out = {name: self.laps[name] for name in sorted(self.laps)}
+        out["total"] = self.total
+        return out
+
     def report(self) -> str:
-        lines = [f"{name}: {secs:.4f}s" for name, secs in self.laps.items()]
+        """Laps sorted by name — independent of insertion order."""
+        lines = [
+            f"{name}: {secs:.4f}s"
+            for name, secs in sorted(self.laps.items())
+        ]
         lines.append(f"total: {self.total:.4f}s")
         return "\n".join(lines)
 

@@ -6,6 +6,15 @@ import numpy as np
 import pytest
 
 
+def pytest_collection_modifyitems(items):
+    """Auto-mark everything under tests/property/ with ``property``
+    so ``-m "not property"`` works without per-file boilerplate."""
+    for item in items:
+        path = str(getattr(item, "path", getattr(item, "fspath", "")))
+        if "/tests/property/" in path.replace("\\", "/"):
+            item.add_marker(pytest.mark.property)
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     return np.random.default_rng(12345)

@@ -1,0 +1,156 @@
+"""Non-perturbation property: observability must never change what
+the engine computes.
+
+For randomly generated pipelines over random frames, results with the
+obs layer enabled are **bit-identical** to results with it disabled,
+and the root operator's recorded ``rows_out`` equals the size of the
+collected result.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import obs
+from repro.engine import Session, agg, col
+from repro.engine.executor import iter_partitions
+from repro.obs import PlanStats
+
+
+@st.composite
+def frames(draw):
+    n = draw(st.integers(min_value=0, max_value=50))
+    keys = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=5), min_size=n, max_size=n
+        )
+    )
+    values = draw(
+        st.lists(
+            st.floats(min_value=-100, max_value=100, allow_nan=False),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    parts = draw(st.integers(min_value=1, max_value=4))
+    return keys, values, parts
+
+
+@st.composite
+def pipelines(draw):
+    """A frame plus a random chain of lazy transformations."""
+    frame = draw(frames())
+    ops = draw(
+        st.lists(
+            st.sampled_from(
+                ["filter", "with_column", "select", "limit", "join",
+                 "group_by", "order_by", "repartition"]
+            ),
+            min_size=0,
+            max_size=4,
+        )
+    )
+    limit_n = draw(st.integers(min_value=0, max_value=30))
+    threshold = draw(st.floats(min_value=-50, max_value=50, allow_nan=False))
+    return frame, ops, limit_n, threshold
+
+
+def _build(session, frame, ops, limit_n, threshold):
+    keys, values, parts = frame
+    df = session.create_dataframe(
+        {
+            "k": np.asarray(keys, dtype=np.int64),
+            "v": np.asarray(values, dtype=np.float64),
+        }
+    )
+    for op in ops:
+        cols = set(df.columns)
+        if op == "filter" and "v" in cols:
+            df = df.filter(col("v") > threshold)
+        elif op == "with_column" and "v" in cols:
+            df = df.with_column("v2", col("v") * 2.0)
+        elif op == "select" and {"k", "v"} <= cols:
+            df = df.select("k", "v")
+        elif op == "limit":
+            df = df.limit(limit_n)
+        elif op == "join" and "k" in cols:
+            right = session.create_dataframe(
+                {
+                    "k": np.arange(6, dtype=np.int64),
+                    "w": np.arange(6, dtype=np.float64) / 3.0,
+                }
+            )
+            df = df.join(right, on="k")
+        elif op == "group_by" and {"k", "v"} <= cols:
+            df = (
+                df.group_by("k")
+                .agg(agg.sum_("v", "v"), agg.count(name="n"))
+            )
+        elif op == "order_by" and "k" in cols:
+            df = df.order_by("k")
+        elif op == "repartition":
+            df = df.repartition(3)
+    return df
+
+
+def _columns_of(df):
+    """Fully materialized {name: array} via the public action path
+    (which meters when obs is enabled)."""
+    return df.to_columns()
+
+
+@settings(max_examples=60, deadline=None)
+@given(pipelines())
+def test_traced_results_bit_identical_to_untraced(pipeline):
+    frame, ops, limit_n, threshold = pipeline
+    session = Session(default_parallelism=frame[2])
+    df = _build(session, frame, ops, limit_n, threshold)
+
+    obs.set_enabled(True)
+    try:
+        traced = _columns_of(df)
+        with obs.disabled():
+            untraced = _columns_of(df)
+    finally:
+        obs.set_enabled(True)
+
+    assert set(traced) == set(untraced)
+    for name in traced:
+        a, b = traced[name], untraced[name]
+        assert a.dtype == b.dtype
+        assert a.shape == b.shape
+        # Bit-identical: compare raw bytes, which also treats NaNs as
+        # equal to themselves.
+        assert a.tobytes() == b.tobytes()
+
+
+@settings(max_examples=60, deadline=None)
+@given(pipelines())
+def test_root_rows_out_matches_collected_size(pipeline):
+    frame, ops, limit_n, threshold = pipeline
+    session = Session(default_parallelism=frame[2])
+    df = _build(session, frame, ops, limit_n, threshold)
+
+    plan = df._execution_plan()
+    stats = PlanStats()
+    collected = 0
+    for part in iter_partitions(plan, stats=stats):
+        collected += part.num_rows
+    root = stats.node(plan)
+    assert root.rows_out == collected
+    assert root.partitions <= max(1, collected) or collected == 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(pipelines())
+def test_action_path_stats_agree_with_result(pipeline):
+    frame, ops, limit_n, threshold = pipeline
+    session = Session(default_parallelism=frame[2])
+    df = _build(session, frame, ops, limit_n, threshold)
+
+    rows = df.collect()
+    stats = session.last_plan_stats
+    assert stats is not None
+    assert stats.node(session.last_plan).rows_out == len(rows)

@@ -1,0 +1,235 @@
+"""Unit tests for repro.obs: spans, metrics, registry, export."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs import MetricsRegistry, Tracer
+from repro.obs.tracer import NULL_SPAN
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    obs.reset()
+    obs.set_enabled(True)
+    yield
+    obs.reset()
+    obs.set_enabled(True)
+
+
+class TestSpans:
+    def test_nesting_records_parent_child(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                inner.add("rows", 3)
+        assert inner.parent is outer
+        assert outer.children == [inner]
+        assert outer.parent is None
+        assert list(tracer.roots) == [outer]
+
+    def test_elapsed_set_on_exit_and_contains_child(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+            assert inner.elapsed_s >= 0.0
+        assert outer.elapsed_s >= inner.elapsed_s
+
+    def test_sibling_spans_share_parent(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+        (root,) = tracer.roots
+        assert [c.name for c in root.children] == ["a", "b"]
+
+    def test_counters_accumulate_on_span(self):
+        tracer = Tracer()
+        with tracer.span("s") as span:
+            span.add("rows", 2)
+            span.add("rows", 3)
+            span.set("stage", "load")
+        assert span.counters == {"rows": 5}
+        assert span.attrs == {"stage": "load"}
+
+    def test_to_dict_is_json_serializable(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                inner.add("n", 1)
+        payload = json.loads(json.dumps(outer.to_dict()))
+        assert payload["name"] == "outer"
+        assert payload["children"][0]["counters"] == {"n": 1}
+
+    def test_disabled_tracer_hands_out_null_span(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("x") as span:
+            span.add("rows", 1)
+            span.set("k", "v")
+        assert span is NULL_SPAN
+        assert not tracer.roots
+
+    def test_exception_still_closes_span(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError("x")
+        assert [s.name for s in tracer.roots] == ["boom"]
+        assert tracer.current is None
+
+    def test_roots_bounded(self):
+        tracer = Tracer(max_roots=4)
+        for i in range(10):
+            with tracer.span(f"s{i}"):
+                pass
+        assert [s.name for s in tracer.roots] == ["s6", "s7", "s8", "s9"]
+
+
+class TestMetrics:
+    def test_counter_int_and_float_increments(self):
+        registry = MetricsRegistry()
+        c = registry.counter("c")
+        c.inc()
+        c.inc(2)
+        c.inc(0.5)
+        assert c.value == 3.5
+        assert registry.counter("c") is c  # get-or-create
+
+    def test_gauge_set_and_set_max(self):
+        registry = MetricsRegistry()
+        g = registry.gauge("g")
+        g.set(5)
+        g.set(3)
+        assert g.value == 3
+        g.set_max(10)
+        g.set_max(7)
+        assert g.value == 10
+
+    def test_histogram_percentiles(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("h")
+        for v in range(1, 101):  # 1..100
+            h.observe(v)
+        assert h.count == 100
+        assert h.total == 5050.0
+        assert h.min == 1.0 and h.max == 100.0
+        assert h.mean == 50.5
+        assert h.percentile(50) == pytest.approx(50.5)
+        assert h.percentile(90) == pytest.approx(90.1)
+        assert h.percentile(99) == pytest.approx(99.01)
+        summary = h.summary()
+        assert list(summary) == [
+            "count", "sum", "min", "max", "mean", "p50", "p90", "p99",
+        ]
+
+    def test_histogram_decimation_keeps_exact_scalars(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("h", max_values=8)
+        for v in range(100):
+            h.observe(v)
+        assert h.count == 100
+        assert h.total == sum(range(100))
+        assert h.min == 0.0 and h.max == 99.0
+        assert len(h.values) <= 8
+
+    def test_empty_histogram_summary(self):
+        h = MetricsRegistry().histogram("h")
+        summary = h.summary()
+        assert summary["count"] == 0
+        assert summary["p50"] is None and summary["mean"] is None
+
+    def test_registry_reset_zeroes_but_keeps_instruments(self):
+        registry = MetricsRegistry()
+        c = registry.counter("c")
+        g = registry.gauge("g")
+        h = registry.histogram("h")
+        c.inc(3)
+        g.set(2)
+        h.observe(1.0)
+        registry.reset()
+        assert registry.counter("c") is c and c.value == 0
+        assert registry.gauge("g") is g and g.value == 0
+        assert registry.histogram("h") is h and h.count == 0
+        assert h.summary()["p50"] is None
+
+    def test_registry_clear_drops_instruments(self):
+        registry = MetricsRegistry()
+        c = registry.counter("c")
+        registry.clear()
+        assert registry.counter("c") is not c
+
+    def test_snapshot_shape_and_sorted_names(self):
+        registry = MetricsRegistry()
+        registry.counter("b").inc()
+        registry.counter("a").inc(2)
+        registry.gauge("g").set(1)
+        registry.histogram("h").observe(4.0)
+        snap = registry.snapshot()
+        assert list(snap) == ["counters", "gauges", "histograms"]
+        assert list(snap["counters"]) == ["a", "b"]
+        assert snap["counters"] == {"a": 2, "b": 1}
+        assert snap["histograms"]["h"]["count"] == 1
+
+
+class TestEnabledFlag:
+    def test_disabled_makes_recording_noop(self):
+        registry = MetricsRegistry()
+        with obs.disabled():
+            registry.counter("c").inc(5)
+            registry.gauge("g").set(2)
+            registry.histogram("h").observe(1.0)
+        assert registry.counter("c").value == 0
+        assert registry.gauge("g").value == 0
+        assert registry.histogram("h").count == 0
+
+    def test_disabled_restores_previous_state(self):
+        assert obs.enabled()
+        with obs.disabled():
+            assert not obs.enabled()
+            assert not obs.tracer.enabled
+        assert obs.enabled()
+        assert obs.tracer.enabled
+
+
+class TestExport:
+    def test_snapshot_schema(self):
+        obs.registry.counter("x").inc()
+        snap = obs.export.snapshot()
+        assert snap["schema_version"] == 1
+        assert snap["metrics"]["counters"]["x"] == 1
+        assert "traces" not in snap
+
+    def test_snapshot_with_traces(self):
+        with obs.tracer.span("root"):
+            pass
+        snap = obs.export.snapshot(include_traces=True)
+        assert [t["name"] for t in snap["traces"]] == ["root"]
+
+    def test_dump_json_roundtrip(self, tmp_path):
+        obs.registry.counter("x").inc(3)
+        path = tmp_path / "metrics.json"
+        written = obs.export.dump_json(str(path))
+        loaded = json.loads(path.read_text())
+        assert loaded == json.loads(json.dumps(written))
+        assert loaded["metrics"]["counters"]["x"] == 3
+
+    def test_operator_breakdown_regroups(self):
+        registry = MetricsRegistry()
+        registry.counter("engine.op.Join.rows_out").inc(10)
+        registry.counter("engine.op.Join.partitions").inc(2)
+        registry.gauge("engine.op.Join.peak_partition_bytes").set_max(64)
+        registry.counter("unrelated.counter").inc()
+        breakdown = obs.export.operator_breakdown(registry)
+        assert breakdown == {
+            "Join": {
+                "partitions": 2,
+                "peak_partition_bytes": 64,
+                "rows_out": 10,
+            }
+        }

@@ -1,0 +1,146 @@
+"""Golden-output regression tests for ``explain()`` and
+``explain(analyze=True)``.
+
+Operator labels and stat field order are part of the API surface
+(tooling parses them), so the rendered trees are pinned verbatim —
+with wall times masked, since those are the only nondeterministic
+field.
+"""
+
+from __future__ import annotations
+
+import re
+import textwrap
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.engine import Session, agg, col
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    obs.reset()
+    obs.set_enabled(True)
+    yield
+    obs.reset()
+
+
+@pytest.fixture
+def session():
+    return Session(default_parallelism=2)
+
+
+def mask_times(text: str) -> str:
+    return re.sub(r"time=\d+\.\d+ms", "time=*", text)
+
+
+def join_groupby_pipeline(session):
+    left = session.create_dataframe(
+        {
+            "k": (np.arange(10, dtype=np.int64) % 3),
+            "v": np.arange(10, dtype=np.float64),
+        }
+    )
+    right = session.create_dataframe(
+        {"k": np.arange(3, dtype=np.int64), "w": np.ones(3)}
+    )
+    return (
+        left.join(right, on="k")
+        .filter(col("v") > 1)
+        .group_by("k")
+        .agg(agg.sum_("v", "s"))
+    )
+
+
+class TestExplainGolden:
+    def test_logical_plan_golden(self, session):
+        df = join_groupby_pipeline(session)
+        expected = textwrap.dedent(
+            """\
+            GroupByAgg[keys=['k'], aggs=(s)]
+              Filter[(v > lit(1))]
+                Join[inner, on=['k']]
+                  Source[2 partitions]
+                  Source[2 partitions]"""
+        )
+        assert df.explain() == expected
+
+    def test_optimized_plan_golden(self, session):
+        df = join_groupby_pipeline(session)
+        expected = textwrap.dedent(
+            """\
+            == Logical Plan ==
+            GroupByAgg[keys=['k'], aggs=(s)]
+              Filter[(v > lit(1))]
+                Join[inner, on=['k']]
+                  Source[2 partitions]
+                  Source[2 partitions]
+            == Optimized Plan ==
+            GroupByAgg[keys=['k'], aggs=(s)]
+              Join[inner, on=['k']]
+                Filter[(v > lit(1))]
+                  Source[2 partitions]
+                Project[k]
+                  Source[2 partitions]"""
+        )
+        assert df.explain(optimized=True) == expected
+
+    def test_analyze_golden(self, session):
+        df = join_groupby_pipeline(session)
+        expected = textwrap.dedent(
+            """\
+            == Analyzed Plan ==
+            GroupByAgg[keys=['k'], aggs=(s)]  (rows_in=8 rows_out=3 partitions=1 time=* peak_part_bytes=48)
+              Join[inner, on=['k']]  (rows_in=11 rows_out=8 partitions=2 time=* peak_part_bytes=80)
+                Filter[(v > lit(1))]  (rows_in=10 rows_out=8 partitions=2 time=* peak_part_bytes=80)
+                  Source[2 partitions]  (rows_out=10 partitions=2 time=* peak_part_bytes=80)
+                Project[k]  (rows_in=3 rows_out=3 partitions=2 time=* peak_part_bytes=16)
+                  Source[2 partitions]  (rows_out=3 partitions=2 time=* peak_part_bytes=32)"""
+        )
+        assert mask_times(df.explain(analyze=True)) == expected
+
+    def test_analyze_is_deterministic_across_runs(self, session):
+        df = join_groupby_pipeline(session)
+        first = mask_times(df.explain(analyze=True))
+        second = mask_times(df.explain(analyze=True))
+        assert first == second
+
+
+class TestAnalyzeSemantics:
+    def test_analyze_does_not_change_results(self, session):
+        df = join_groupby_pipeline(session)
+        before = df.collect()
+        df.explain(analyze=True)
+        assert df.collect() == before
+
+    def test_analyze_feeds_registry(self, session):
+        join_groupby_pipeline(session).explain(analyze=True)
+        breakdown = obs.export.operator_breakdown()
+        assert breakdown["GroupByAgg"]["rows_out"] == 3
+        assert breakdown["Join"]["rows_out"] == 8
+        assert breakdown["Source"]["partitions"] == 4
+
+    def test_actions_record_last_plan_stats(self, session):
+        df = join_groupby_pipeline(session)
+        rows = df.collect()
+        stats = session.last_plan_stats
+        assert stats is not None
+        root_stats = stats.node(session.last_plan)
+        assert root_stats.rows_out == len(rows)
+        rendered = stats.render(session.last_plan)
+        assert "GroupByAgg" in rendered and "rows_out=3" in rendered
+
+    def test_disabled_obs_skips_plan_stats(self, session):
+        df = join_groupby_pipeline(session)
+        with obs.disabled():
+            df.collect()
+        assert session.last_plan_stats is None
+
+    def test_partially_consumed_action_still_flushes(self, session):
+        df = session.range(100, num_partitions=4)
+        rows = df.take(5)
+        assert len(rows) == 5
+        breakdown = obs.export.operator_breakdown()
+        assert breakdown["Limit"]["rows_out"] == 5

@@ -1,0 +1,161 @@
+"""The built-in instrumentation points: spatial join, DFtoTorch
+converter, and Trainer all reporting into ``repro.obs.registry``."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.core.converter import ClassificationSpec, DFToTorchConverter
+from repro.core.training import Trainer
+from repro.data import DataLoader, TensorDataset
+from repro.core.preprocessing.grid import SpacePartition
+from repro.engine import Session
+from repro.geometry import Envelope
+from repro.nn import Linear, MSELoss
+from repro.optim import Adam
+from repro.spatial import spatial_join_points_polygons
+from repro.tensor import Tensor
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    obs.reset()
+    obs.set_enabled(True)
+    yield
+    obs.reset()
+    obs.set_enabled(True)
+
+
+@pytest.fixture
+def session():
+    return Session(default_parallelism=2)
+
+
+class TestSpatialJoinMetrics:
+    def _run(self, session, rng, use_index):
+        points = session.create_dataframe(
+            {
+                "lon": rng.uniform(0, 10, 40),
+                "lat": rng.uniform(0, 10, 40),
+            }
+        )
+        polygons = SpacePartition.generate_grid_cells(
+            Envelope(0, 10, 0, 10), 2, 2
+        )
+        joined = spatial_join_points_polygons(
+            points, polygons, "lon", "lat", use_index=use_index
+        )
+        return joined.collect()
+
+    def test_rect_fast_path_counters(self, session, rng):
+        rows = self._run(session, rng, use_index=True)
+        counters = obs.export.snapshot()["metrics"]["counters"]
+        assert counters["spatial_join.index_probes"] == 40
+        assert counters["spatial_join.emitted_pairs"] == len(rows)
+        # Every emitted pair was a candidate first.
+        assert (
+            counters["spatial_join.candidate_pairs"]
+            >= counters["spatial_join.emitted_pairs"]
+        )
+
+    def test_brute_force_counters(self, session, rng):
+        rows = self._run(session, rng, use_index=False)
+        counters = obs.export.snapshot()["metrics"]["counters"]
+        assert counters["spatial_join.index_probes"] == 40
+        assert counters["spatial_join.emitted_pairs"] == len(rows)
+        assert (
+            counters["spatial_join.candidate_pairs"]
+            >= counters["spatial_join.emitted_pairs"]
+        )
+
+    def test_disabled_records_nothing(self, session, rng):
+        with obs.disabled():
+            self._run(session, rng, use_index=True)
+        counters = obs.export.snapshot()["metrics"]["counters"]
+        assert counters.get("spatial_join.index_probes", 0) == 0
+
+
+def _tile_frame(session, rng, n=10):
+    tiles = np.empty(n, dtype=object)
+    for i in range(n):
+        tiles[i] = rng.random((1, 4, 4)).astype(np.float32)
+    return session.create_dataframe(
+        {"tile": tiles, "label": rng.integers(0, 3, n)}
+    )
+
+
+class TestConverterMetrics:
+    def test_batches_and_samples_counted(self, session, rng):
+        df = _tile_frame(session, rng, n=10)
+        converter = DFToTorchConverter(ClassificationSpec())
+        batches = list(converter.convert(df, batch_size=4))
+        counters = obs.export.snapshot()["metrics"]["counters"]
+        assert counters["converter.batches"] == len(batches) == 3
+        assert counters["converter.samples"] == 10
+
+    def test_shuffle_buffer_occupancy_histogram(self, session, rng):
+        df = _tile_frame(session, rng, n=10)
+        converter = DFToTorchConverter(ClassificationSpec())
+        list(converter.convert(df, batch_size=4, shuffle_buffer=4, rng=0))
+        hist = obs.registry.histogram("converter.shuffle_buffer_occupancy")
+        assert hist.count > 0
+        assert hist.max <= 5  # buffer never exceeds shuffle_buffer + 1
+
+    def test_disabled_converter_records_nothing(self, session, rng):
+        df = _tile_frame(session, rng, n=8)
+        converter = DFToTorchConverter(ClassificationSpec())
+        with obs.disabled():
+            list(converter.convert(df, batch_size=4))
+        counters = obs.export.snapshot()["metrics"]["counters"]
+        assert counters.get("converter.batches", 0) == 0
+
+
+def _regression_trainer(rng, grad_clip=None):
+    x = rng.random((32, 3)).astype(np.float32)
+    y = (x @ np.array([[1.0], [-2.0], [0.5]], dtype=np.float32))
+    loader = DataLoader(TensorDataset(x, y), batch_size=8, shuffle=False)
+    model = Linear(3, 1, rng=0)
+    adapter = lambda batch: ((Tensor(batch[0]),), Tensor(batch[1]))
+    trainer = Trainer(
+        model,
+        Adam(model.parameters(), lr=0.01),
+        MSELoss(),
+        adapter,
+        grad_clip=grad_clip,
+    )
+    return trainer, loader
+
+
+class TestTrainerMetrics:
+    def test_epoch_histograms_recorded(self, rng):
+        trainer, loader = _regression_trainer(rng)
+        result = trainer.fit(loader, epochs=3)
+        hists = obs.export.snapshot()["metrics"]["histograms"]
+        assert hists["trainer.epoch_seconds"]["count"] == 3
+        assert hists["trainer.train_loss"]["count"] == 3
+        assert hists["trainer.train_loss"]["min"] == min(result.train_losses)
+
+    def test_epoch_spans_traced(self, rng):
+        trainer, loader = _regression_trainer(rng)
+        trainer.fit(loader, epochs=2)
+        epochs = [s for s in obs.tracer.roots if s.name == "trainer.epoch"]
+        assert len(epochs) == 2
+        assert epochs[0].attrs["epoch"] == 1
+        assert epochs[1].attrs["epoch"] == 2
+
+    def test_grad_norm_recorded_when_clipping(self, rng):
+        trainer, loader = _regression_trainer(rng, grad_clip=1.0)
+        trainer.fit(loader, epochs=2)
+        hist = obs.registry.histogram("trainer.grad_norm")
+        assert hist.count == 8  # 4 batches x 2 epochs
+        assert hist.min >= 0.0
+
+    def test_training_unchanged_when_disabled(self, rng):
+        trainer, loader = _regression_trainer(rng)
+        with obs.disabled():
+            result = trainer.fit(loader, epochs=2)
+        assert len(result.train_losses) == 2
+        hists = obs.export.snapshot()["metrics"]["histograms"]
+        assert hists["trainer.epoch_seconds"]["count"] == 0
