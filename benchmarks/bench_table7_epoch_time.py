@@ -3,11 +3,27 @@
 Paper shape: ConvLSTM is by far the slowest grid model and Periodical
 CNN the fastest; segmentation models are the slowest overall with
 UNet++ > UNet > FCN; model accuracy is not proportional to cost.
+
+After the timed rounds, every model runs one short *profiled* epoch
+(wait/warmup/active schedule, steady-state steps only) and the
+per-model module/FLOP breakdown is written to
+``benchmarks/results/table7_profile.json`` — the attribution behind
+the Table VII numbers (why ConvLSTM's unrolled sequence dominates,
+where UNet++'s nested decoder spends its time).
 """
 
 from __future__ import annotations
 
-from repro.experiments.epoch_time import format_table7, run_table7
+import os
+
+from repro.experiments.epoch_time import (
+    format_table7,
+    profile_table7,
+    run_table7,
+)
+from repro.obs.export import atomic_write_json
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
 
 def test_table7_epoch_times(benchmark, report, data_root, config):
@@ -27,3 +43,15 @@ def test_table7_epoch_times(benchmark, report, data_root, config):
     assert seconds["ConvLSTM"] > 1.25 * seconds["DeepSTN+"]
     # Segmentation: UNet++ slowest, then UNet, then FCN.
     assert seconds["UNet++"] > seconds["UNet"] > seconds["FCN"]
+
+    # Per-model profiler breakdown alongside the timings.
+    breakdowns = profile_table7(data_root, config)
+    assert set(breakdowns) == set(seconds)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    payload = {
+        "epoch_seconds": seconds,
+        "profiles": breakdowns,
+    }
+    atomic_write_json(
+        os.path.join(RESULTS_DIR, "table7_profile.json"), payload
+    )

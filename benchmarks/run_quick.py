@@ -6,13 +6,13 @@ Standalone (no pytest) so CI and future PRs can diff keyed timings:
     python benchmarks/run_quick.py
 
 Keys: the vectorized vs per-row 50k x 50k key join, a 500k-row
-group-by, the optimizer on/off prune-heavy workload, and the Figure 8
-tensor-preparation leg.
+group-by, the optimizer on/off prune-heavy workload, the Figure 8
+tensor-preparation leg, and a small training epoch measuring the cost
+of the obs layer + dormant profiler hooks on the model stack.
 """
 
 from __future__ import annotations
 
-import json
 import os
 import sys
 import time
@@ -185,6 +185,77 @@ def bench_observability() -> dict:
     }
 
 
+def bench_train_overhead() -> dict:
+    """Cost of the instrumentation riding on the training stack.
+
+    Two ratios over one small conv-model epoch, interleaved best-of-N
+    like :func:`bench_observability`:
+
+    - ``train_obs_overhead_ratio``: obs on (dataloader metering, op
+      span fast-path checks, trainer histograms) vs ``obs.disabled()``.
+      This is the profiler-*disabled* overhead bar (< 5%).
+    - ``train_profiler_overhead_ratio``: a recording profiler attached
+      for every step vs no profiler — the opt-in cost of attribution.
+    """
+    from repro import nn
+    from repro.core.training import Trainer, classification_batch
+    from repro.data import DataLoader, TensorDataset
+    from repro.obs.profiler import Profiler
+    from repro.optim import Adam
+
+    rng = np.random.default_rng(11)
+    images = rng.normal(size=(96, 2, 16, 16)).astype(np.float32)
+    labels = rng.integers(0, 4, 96)
+    loader = DataLoader(
+        TensorDataset(images, labels), batch_size=16, shuffle=False
+    )
+
+    def make_trainer() -> Trainer:
+        model = nn.Sequential(
+            nn.Conv2d(2, 8, 3, padding=1, rng=0),
+            nn.ReLU(),
+            nn.MaxPool2d(2),
+            nn.Conv2d(8, 8, 3, padding=1, rng=1),
+            nn.ReLU(),
+            nn.GlobalAvgPool2d(),
+            nn.Linear(8, 4, rng=2),
+        )
+        return Trainer(
+            model,
+            Adam(model.parameters(), lr=1e-3),
+            nn.CrossEntropyLoss(),
+            classification_batch,
+        )
+
+    trainer = make_trainer()
+    trainer.train_epoch(loader)  # warm caches / allocator
+    repeats = 5
+    on_s = off_s = prof_s = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        trainer.train_epoch(loader)
+        on_s = min(on_s, time.perf_counter() - started)
+        with obs.disabled():
+            started = time.perf_counter()
+            trainer.train_epoch(loader)
+            off_s = min(off_s, time.perf_counter() - started)
+        profiler = Profiler(trainer.model)
+        profiler.start()
+        try:
+            started = time.perf_counter()
+            trainer.train_epoch(loader, profiler=profiler)
+            prof_s = min(prof_s, time.perf_counter() - started)
+        finally:
+            profiler.stop()
+    return {
+        "train_obs_on_s": on_s,
+        "train_obs_off_s": off_s,
+        "train_obs_overhead_ratio": on_s / off_s,
+        "train_profiler_on_s": prof_s,
+        "train_profiler_overhead_ratio": prof_s / on_s,
+    }
+
+
 def bench_fig8_leg(n: int = 50_000) -> dict:
     from repro.experiments.fig8 import make_records, run_engine_prep
 
@@ -204,6 +275,7 @@ def main() -> dict:
         bench_groupby,
         bench_optimizer,
         bench_observability,
+        bench_train_overhead,
         bench_fig8_leg,
     )
     for stage in stages:
@@ -213,9 +285,9 @@ def main() -> dict:
     # process-wide metrics registry.
     results["operators"] = obs.export.operator_breakdown()
     path = os.path.join(_REPO_ROOT, "BENCH_engine.json")
-    with open(path, "w") as handle:
-        json.dump(results, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    # Atomic write: an interrupted run never leaves a truncated JSON
+    # for scripts/check.sh to diff against.
+    obs.export.atomic_write_json(path, results)
     for key in sorted(results):
         if key == "operators":
             continue

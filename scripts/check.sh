@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
-# Repo health check, three gates:
+# Repo health check, four gates:
 #   1. tier-1: the full test suite (what the roadmap pins)
 #   2. fast lane: unit tests minus anything marked slow
 #   3. bench smoke: benchmarks/run_quick.py runs to completion and
 #      regenerates BENCH_engine.json (incl. per-operator breakdown)
+#   4. bench diff: the fresh BENCH_engine.json must not regress the
+#      obs-overhead or join-speedup keys >25% vs the committed one
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
@@ -15,6 +17,12 @@ echo "== fast lane: unit, not slow =="
 python -m pytest tests/unit -q -m "not slow"
 
 echo "== bench smoke: run_quick =="
+baseline="$(mktemp)"
+trap 'rm -f "$baseline"' EXIT
+cp BENCH_engine.json "$baseline"
 python benchmarks/run_quick.py
+
+echo "== bench diff: fresh vs committed =="
+python scripts/diff_bench.py "$baseline" BENCH_engine.json
 
 echo "All checks passed."

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Compare two BENCH_engine.json files and fail on perf regressions.
+
+Usage: python scripts/diff_bench.py BASELINE.json FRESH.json
+
+Guards the two headline health keys (scripts/check.sh runs this after
+regenerating BENCH_engine.json):
+
+- ``obs_overhead_ratio`` — cost of on-by-default instrumentation on
+  the join workload; higher is worse.
+- ``join_speedup`` — vectorized join vs the per-row reference; lower
+  is worse.
+
+A key regresses when it moves more than ``TOLERANCE`` (25%) in its bad
+direction.  Missing keys in the baseline (older file layouts) are
+skipped with a note rather than failed, so the gate stays usable
+across layout changes.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+TOLERANCE = 0.25
+
+#: key -> direction; "lower" means lower values are better.
+WATCHED = {
+    "obs_overhead_ratio": "lower",
+    "join_speedup": "higher",
+}
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 3:
+        print(__doc__)
+        return 2
+    with open(argv[1]) as handle:
+        baseline = json.load(handle)
+    with open(argv[2]) as handle:
+        fresh = json.load(handle)
+
+    failures = []
+    for key, direction in WATCHED.items():
+        if key not in baseline:
+            print(f"diff_bench: {key}: not in baseline, skipping")
+            continue
+        if key not in fresh:
+            failures.append(f"{key}: missing from fresh results")
+            continue
+        old, new = float(baseline[key]), float(fresh[key])
+        if direction == "lower":
+            regressed = new > old * (1 + TOLERANCE)
+        else:
+            regressed = new < old * (1 - TOLERANCE)
+        marker = "REGRESSED" if regressed else "ok"
+        print(
+            f"diff_bench: {key}: baseline={old:.4f} fresh={new:.4f} "
+            f"({direction} is better) {marker}"
+        )
+        if regressed:
+            failures.append(
+                f"{key}: {old:.4f} -> {new:.4f} (> {TOLERANCE:.0%} worse)"
+            )
+
+    if failures:
+        print("diff_bench: FAIL")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print("diff_bench: no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -103,8 +103,13 @@ class Trainer:
                     param.grad *= scale
 
     # ------------------------------------------------------------------
-    def train_epoch(self, loader) -> float:
-        """One pass over the loader; returns mean batch loss."""
+    def train_epoch(self, loader, profiler=None) -> float:
+        """One pass over the loader; returns mean batch loss.
+
+        ``profiler`` (an already-started
+        :class:`~repro.obs.profiler.Profiler`) is stepped once per
+        batch so its wait/warmup/active schedule advances with
+        training steps."""
         self.model.train()
         total, batches = 0.0, 0
         if self.training_mode == "cumulative":
@@ -123,6 +128,8 @@ class Trainer:
                 loss.backward()
             total += loss.item()
             batches += 1
+            if profiler is not None:
+                profiler.step()
         if self.training_mode == "cumulative" and batches:
             if self.grad_clip is not None:
                 self._clip_gradients()
@@ -155,35 +162,53 @@ class Trainer:
         epochs: int = 10,
         early_stopping: EarlyStopping | None = None,
         verbose: bool = False,
+        profiler=None,
     ) -> TrainingResult:
         """Train for up to ``epochs``, optionally early-stopping on
-        validation loss."""
+        validation loss.
+
+        ``profiler`` is a :class:`~repro.obs.profiler.Profiler`; if it
+        has no model yet it is attached to ``self.model``, started for
+        the duration of the fit (and stopped again, even on error),
+        and stepped once per batch so a wait/warmup/active schedule
+        profiles steady-state steps.  A profiler the caller already
+        started (e.g. inside a ``with`` block) is left running."""
         from repro import obs
 
-        result = TrainingResult()
-        for epoch in range(epochs):
-            with obs.tracer.span("trainer.epoch") as span:
-                started = time.perf_counter()
-                train_loss = self.train_epoch(train_loader)
-                elapsed = time.perf_counter() - started
-            span.set("epoch", epoch + 1)
-            span.set("train_loss", train_loss)
-            obs.registry.histogram("trainer.epoch_seconds").observe(elapsed)
-            obs.registry.histogram("trainer.train_loss").observe(train_loss)
-            result.epoch_seconds.append(elapsed)
-            result.train_losses.append(train_loss)
-            result.epochs_run = epoch + 1
-            if val_loader is not None:
-                val_loss = self.evaluate(val_loader)["loss"]
-                result.val_losses.append(val_loss)
-                if verbose:
-                    print(
-                        f"epoch {epoch + 1}: train={train_loss:.5f} "
-                        f"val={val_loss:.5f}"
-                    )
-                if early_stopping is not None and early_stopping.step(val_loss):
-                    result.stopped_early = True
-                    break
-            elif verbose:
-                print(f"epoch {epoch + 1}: train={train_loss:.5f}")
-        return result
+        owns_profiler = False
+        if profiler is not None and not profiler._started:
+            if profiler.model is None:
+                profiler.model = self.model
+            profiler.start()
+            owns_profiler = True
+        try:
+            result = TrainingResult()
+            for epoch in range(epochs):
+                with obs.tracer.span("trainer.epoch") as span:
+                    started = time.perf_counter()
+                    train_loss = self.train_epoch(train_loader, profiler=profiler)
+                    elapsed = time.perf_counter() - started
+                span.set("epoch", epoch + 1)
+                span.set("train_loss", train_loss)
+                obs.registry.histogram("trainer.epoch_seconds").observe(elapsed)
+                obs.registry.histogram("trainer.train_loss").observe(train_loss)
+                result.epoch_seconds.append(elapsed)
+                result.train_losses.append(train_loss)
+                result.epochs_run = epoch + 1
+                if val_loader is not None:
+                    val_loss = self.evaluate(val_loader)["loss"]
+                    result.val_losses.append(val_loss)
+                    if verbose:
+                        print(
+                            f"epoch {epoch + 1}: train={train_loss:.5f} "
+                            f"val={val_loss:.5f}"
+                        )
+                    if early_stopping is not None and early_stopping.step(val_loss):
+                        result.stopped_early = True
+                        break
+                elif verbose:
+                    print(f"epoch {epoch + 1}: train={train_loss:.5f}")
+            return result
+        finally:
+            if owns_profiler:
+                profiler.stop()

@@ -36,6 +36,7 @@ def run_classification(
     config: ExperimentConfig,
     seed: int,
     epochs: int | None = None,
+    profiler=None,
 ) -> dict:
     """Train one classifier cell; returns accuracy and timing."""
     dataset_cls = {"EuroSAT": EuroSAT, "SAT6": SAT6}[dataset_name]
@@ -73,7 +74,9 @@ def run_classification(
         model, Adam(model.parameters(), lr=1e-3), CrossEntropyLoss(), adapter
     )
     fit = trainer.fit(
-        train_loader, epochs=epochs or min(config.max_epochs, 12)
+        train_loader,
+        epochs=epochs or min(config.max_epochs, 12),
+        profiler=profiler,
     )
     evaluation = trainer.evaluate(test_loader, {"accuracy": accuracy})
     return {
@@ -91,6 +94,7 @@ def run_segmentation(
     config: ExperimentConfig,
     seed: int,
     epochs: int | None = None,
+    profiler=None,
 ) -> dict:
     """Train one segmentation cell on 38-Cloud; returns pixel accuracy."""
     dataset = Cloud38(
@@ -118,7 +122,11 @@ def run_segmentation(
         CrossEntropyLoss(),
         segmentation_batch,
     )
-    fit = trainer.fit(train_loader, epochs=epochs or min(config.max_epochs, 15))
+    fit = trainer.fit(
+        train_loader,
+        epochs=epochs or min(config.max_epochs, 15),
+        profiler=profiler,
+    )
     evaluation = trainer.evaluate(test_loader, {"accuracy": pixel_accuracy})
     return {
         "dataset": "38-Cloud",

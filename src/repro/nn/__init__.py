@@ -4,7 +4,7 @@ API modeled on ``torch.nn``: layers are :class:`Module` subclasses
 holding :class:`Parameter` leaves; calling a module runs ``forward``.
 """
 
-from repro.nn.module import Module, Parameter
+from repro.nn.module import Module, Parameter, RemovableHandle
 from repro.nn.container import Sequential, ModuleList
 from repro.nn.linear import Linear
 from repro.nn.conv import Conv2d, ConvTranspose2d
@@ -24,6 +24,7 @@ from repro.nn import functional, init
 __all__ = [
     "Module",
     "Parameter",
+    "RemovableHandle",
     "Sequential",
     "ModuleList",
     "Linear",

@@ -8,11 +8,33 @@ convention as ``torch.nn.Module``.
 
 from __future__ import annotations
 
+import itertools
 from collections import OrderedDict
 
 import numpy as np
 
 from repro.tensor import Tensor
+
+
+class RemovableHandle:
+    """Handle returned by ``register_forward_*_hook``; ``remove()``
+    unregisters the hook (idempotent — removing twice is a no-op)."""
+
+    __slots__ = ("_hooks", "id")
+    _ids = itertools.count()
+
+    def __init__(self, hooks: dict):
+        self._hooks = hooks
+        self.id = next(RemovableHandle._ids)
+
+    def remove(self) -> None:
+        self._hooks.pop(self.id, None)
+
+    def __enter__(self) -> "RemovableHandle":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.remove()
 
 
 class Parameter(Tensor):
@@ -37,6 +59,8 @@ class Module:
         object.__setattr__(self, "_parameters", OrderedDict())
         object.__setattr__(self, "_buffers", OrderedDict())
         object.__setattr__(self, "_modules", OrderedDict())
+        object.__setattr__(self, "_forward_pre_hooks", OrderedDict())
+        object.__setattr__(self, "_forward_hooks", OrderedDict())
         object.__setattr__(self, "training", True)
 
     # ------------------------------------------------------------------
@@ -83,6 +107,20 @@ class Module:
         yield self
         for child in self._modules.values():
             yield from child.modules()
+
+    def named_modules(self, prefix: str = "", memo: set | None = None):
+        """Yield ``(qualified_path, module)`` over the tree, visiting
+        each module instance once (a shared submodule is reported at
+        its first path only).  The root's path is ``""``."""
+        if memo is None:
+            memo = set()
+        if id(self) in memo:
+            return
+        memo.add(id(self))
+        yield prefix, self
+        for name, module in self._modules.items():
+            child_prefix = f"{prefix}.{name}" if prefix else name
+            yield from module.named_modules(child_prefix, memo)
 
     def num_parameters(self) -> int:
         """Total number of trainable scalar parameters."""
@@ -149,13 +187,48 @@ class Module:
             self.load_state_dict({k: archive[k] for k in archive.files})
 
     # ------------------------------------------------------------------
+    # Hooks
+    # ------------------------------------------------------------------
+    def register_forward_pre_hook(self, hook) -> RemovableHandle:
+        """Run ``hook(module, args)`` before every ``forward``.
+
+        Returning a non-``None`` value replaces the positional
+        arguments (a single value is wrapped into a 1-tuple).  Hooks
+        run in registration order.
+        """
+        handle = RemovableHandle(self._forward_pre_hooks)
+        self._forward_pre_hooks[handle.id] = hook
+        return handle
+
+    def register_forward_hook(self, hook) -> RemovableHandle:
+        """Run ``hook(module, args, output)`` after every ``forward``.
+
+        Returning a non-``None`` value replaces the output.  Hooks run
+        in registration order.
+        """
+        handle = RemovableHandle(self._forward_hooks)
+        self._forward_hooks[handle.id] = hook
+        return handle
+
+    # ------------------------------------------------------------------
     # Invocation
     # ------------------------------------------------------------------
     def forward(self, *args, **kwargs):
         raise NotImplementedError
 
     def __call__(self, *args, **kwargs):
-        return self.forward(*args, **kwargs)
+        if not (self._forward_pre_hooks or self._forward_hooks):
+            return self.forward(*args, **kwargs)
+        for hook in tuple(self._forward_pre_hooks.values()):
+            result = hook(self, args)
+            if result is not None:
+                args = result if isinstance(result, tuple) else (result,)
+        output = self.forward(*args, **kwargs)
+        for hook in tuple(self._forward_hooks.values()):
+            result = hook(self, args, output)
+            if result is not None:
+                output = result
+        return output
 
     def __repr__(self) -> str:
         child_lines = [

@@ -1,6 +1,6 @@
 """repro.obs — zero-dependency runtime observability.
 
-Three pieces, one switch:
+Four pieces, one switch:
 
 - :class:`Tracer` / :class:`Span` (``repro.obs.tracer``) — nested,
   timed regions with attached counters; ``repro.utils.timing``
@@ -8,8 +8,13 @@ Three pieces, one switch:
 - :class:`MetricsRegistry` (``repro.obs.metrics``) — process-wide
   counters / gauges / histograms that the engine executor, spatial
   join, DFtoTorch converter, and Trainer all record into.
+- :class:`Profiler` (``repro.obs.profiler``) — torch.profiler-style
+  module/op attribution of the training stack: per-module-path wall
+  time, analytic FLOPs, parameter/activation bytes, with a
+  wait/warmup/active schedule (``Trainer.fit(profiler=...)``).
 - :mod:`repro.obs.export` — snapshot everything as a dict / JSON
-  (the per-operator breakdown embedded in ``BENCH_engine.json``).
+  (the per-operator breakdown embedded in ``BENCH_engine.json``) and
+  :func:`~repro.obs.export.to_chrome_trace` for chrome://tracing.
 
 Instrumentation is **on by default but cheap**: recording happens per
 partition / batch / epoch (never per row) and every record call checks
@@ -31,9 +36,10 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 
-from repro.obs import export
+from repro.obs import export, profiler
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.plan_stats import NodeStats, PlanStats
+from repro.obs.profiler import Profiler, ProfilerAction, schedule
 from repro.obs.tracer import NULL_SPAN, Span, Tracer
 
 _ENABLED = True
@@ -80,6 +86,10 @@ __all__ = [
     "MetricsRegistry",
     "NodeStats",
     "PlanStats",
+    "Profiler",
+    "ProfilerAction",
+    "schedule",
+    "profiler",
     "Span",
     "Tracer",
     "NULL_SPAN",

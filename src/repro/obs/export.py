@@ -25,8 +25,31 @@ which is what ``benchmarks/run_quick.py`` embeds in
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 
 SCHEMA_VERSION = 1
+
+
+def atomic_write_json(path: str, payload, indent: int = 2, sort_keys: bool = True) -> None:
+    """Serialize ``payload`` to ``path`` atomically: write a temp file
+    in the same directory, then ``os.replace`` — an interrupted run can
+    leave a stray temp file but never a truncated JSON at ``path``."""
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=".tmp-" + os.path.basename(path) + "-"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(payload, handle, indent=indent, sort_keys=sort_keys)
+            handle.write("\n")
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
 
 
 def snapshot(registry=None, tracer=None, include_traces: bool = False) -> dict:
@@ -42,11 +65,10 @@ def snapshot(registry=None, tracer=None, include_traces: bool = False) -> dict:
 
 
 def dump_json(path: str, registry=None, tracer=None, include_traces: bool = False) -> dict:
-    """Write :func:`snapshot` to ``path``; returns the snapshot."""
+    """Write :func:`snapshot` to ``path`` atomically; returns the
+    snapshot."""
     snap = snapshot(registry, tracer, include_traces=include_traces)
-    with open(path, "w") as handle:
-        json.dump(snap, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    atomic_write_json(path, snap)
     return snap
 
 
@@ -72,3 +94,84 @@ def operator_breakdown(registry=None) -> dict:
             continue
         out.setdefault(op, {})[field] = value
     return {op: dict(sorted(fields.items())) for op, fields in sorted(out.items())}
+
+
+#: Virtual thread ids in the Chrome trace: profiler events on one
+#: lane, tracer spans on another, so chrome://tracing / Perfetto draw
+#: them as two stacked flame graphs of the same run.
+PROFILER_TID = 0
+TRACER_TID = 1
+
+
+def _span_to_trace_events(span, pid: int, events: list) -> None:
+    event = {
+        "name": span.name,
+        "cat": "tracer",
+        "ph": "X",
+        "ts": span.start_s * 1e6,
+        "dur": span.elapsed_s * 1e6,
+        "pid": pid,
+        "tid": TRACER_TID,
+    }
+    args = {}
+    if span.counters:
+        args.update(span.counters)
+    if span.attrs:
+        args.update(span.attrs)
+    if args:
+        event["args"] = args
+    events.append(event)
+    for child in span.children:
+        _span_to_trace_events(child, pid, events)
+
+
+def to_chrome_trace(path: str | None = None, *, tracer=None, profiler=None) -> dict:
+    """Render tracer spans and profiler events as Chrome Trace Event
+    Format JSON (open in ``chrome://tracing`` or Perfetto).
+
+    Every timed entry is a complete event (``"ph": "X"``) carrying
+    ``name``/``ph``/``ts``/``dur``/``pid``/``tid``; timestamps are
+    microseconds on the ``perf_counter`` timebase.  ``tracer`` defaults
+    to the process-wide :data:`repro.obs.tracer`; pass a
+    :class:`~repro.obs.profiler.Profiler` to interleave its module/op
+    events.  When ``path`` is given the JSON is also written there
+    atomically.
+    """
+    from repro import obs
+
+    tracer = tracer if tracer is not None else obs.tracer
+    pid = os.getpid()
+    events: list[dict] = [
+        {"name": "process_name", "ph": "M", "pid": pid, "tid": PROFILER_TID,
+         "args": {"name": "repro"}},
+        {"name": "thread_name", "ph": "M", "pid": pid, "tid": PROFILER_TID,
+         "args": {"name": "profiler (modules + kernels)"}},
+        {"name": "thread_name", "ph": "M", "pid": pid, "tid": TRACER_TID,
+         "args": {"name": "tracer (spans)"}},
+    ]
+    if profiler is not None:
+        for event in profiler.events:
+            events.append(
+                {
+                    "name": event.name,
+                    "cat": event.kind,
+                    "ph": "X",
+                    "ts": event.ts * 1e6,
+                    "dur": event.dur * 1e6,
+                    "pid": pid,
+                    "tid": PROFILER_TID,
+                    "args": {
+                        "op_type": event.op_type,
+                        "step": event.step,
+                        "flops": event.flops,
+                        "param_bytes": event.param_bytes,
+                        "activation_bytes": event.activation_bytes,
+                    },
+                }
+            )
+    for span in tracer.roots:
+        _span_to_trace_events(span, pid, events)
+    trace = {"traceEvents": events, "displayTimeUnit": "ms"}
+    if path is not None:
+        atomic_write_json(path, trace, sort_keys=False)
+    return trace

@@ -21,12 +21,15 @@ class Span:
     exits; ``counters``/``attrs`` hold whatever the instrumented code
     attached while the span was open."""
 
-    __slots__ = ("name", "parent", "children", "elapsed_s", "counters", "attrs")
+    __slots__ = (
+        "name", "parent", "children", "start_s", "elapsed_s", "counters", "attrs"
+    )
 
     def __init__(self, name: str, parent: "Span | None" = None):
         self.name = name
         self.parent = parent
         self.children: list[Span] = []
+        self.start_s = 0.0  # perf_counter timebase, set on entry
         self.elapsed_s = 0.0
         self.counters: dict = {}
         self.attrs: dict = {}
@@ -58,6 +61,7 @@ class _NullSpan:
     name = ""
     parent = None
     children: list = []
+    start_s = 0.0
     elapsed_s = 0.0
     counters: dict = {}
     attrs: dict = {}
@@ -100,6 +104,7 @@ class Tracer:
         span = Span(name, parent=self.current)
         self._stack.append(span)
         started = time.perf_counter()
+        span.start_s = started
         try:
             yield span
         finally:

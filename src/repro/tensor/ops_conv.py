@@ -11,12 +11,18 @@ backend (:mod:`repro.tensor.backend`):
   used as the "CPU" leg of the Figure 9 reproduction.
 
 Both strategies compute identical values; tests assert this.
+
+Each kernel wraps its hot section in a profiler op-span
+(:func:`repro.obs.profiler.op_span`), so kernel-level time nests under
+the owning module's span when a profiler is active; with no profiler
+the wrapper is a shared no-op costing one global read.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.obs.profiler import op_span
 from repro.tensor.backend import ACCELERATED, get_backend
 from repro.tensor.tensor import Tensor
 
@@ -67,66 +73,69 @@ def conv2d(
             :, :, i : i + stride * oh : stride, j : j + stride * ow : stride
         ]
 
-    if accelerated:
-        out_nhwf = np.zeros((n, oh, ow, f), dtype=xp.dtype)
-        for i in range(kh):
-            for j in range(kw):
-                out_nhwf += np.tensordot(
-                    tap_slice(i, j), weight.data[:, :, i, j], axes=([1], [1])
-                )
-        out = out_nhwf.transpose(0, 3, 1, 2)
-    else:
-        out = np.empty((n, f, oh, ow), dtype=xp.dtype)
-        w_flat = weight.data.reshape(f, -1)
-        for i in range(oh):
-            for j in range(ow):
-                patch = xp[
-                    :, :, i * stride : i * stride + kh, j * stride : j * stride + kw
-                ].reshape(n, -1)
-                out[:, :, i, j] = patch @ w_flat.T
-
-    if bias is not None:
-        out = out + bias.data.reshape(1, f, 1, 1)
-
-    def backward(grad):
-        if weight.requires_grad:
-            if accelerated:
-                dw = np.empty_like(weight.data)
-                for i in range(kh):
-                    for j in range(kw):
-                        dw[:, :, i, j] = np.tensordot(
-                            grad, tap_slice(i, j), axes=([0, 2, 3], [0, 2, 3])
-                        )
-            else:
-                dw = np.zeros_like(weight.data)
-                w_rows = dw.reshape(f, -1)
-                for i in range(oh):
-                    for j in range(ow):
-                        patch = xp[
-                            :,
-                            :,
-                            i * stride : i * stride + kh,
-                            j * stride : j * stride + kw,
-                        ].reshape(n, -1)
-                        w_rows += grad[:, :, i, j].T @ patch
-            weight._accumulate(dw)
-        if bias is not None and bias.requires_grad:
-            bias._accumulate(grad.sum(axis=(0, 2, 3)))
-        if x.requires_grad:
-            dxp = np.zeros_like(xp)
-            grad_nhwf = grad.transpose(0, 2, 3, 1)  # (N, OH, OW, F)
+    with op_span("ops_conv.conv2d") as _op:
+        if accelerated:
+            out_nhwf = np.zeros((n, oh, ow, f), dtype=xp.dtype)
             for i in range(kh):
                 for j in range(kw):
-                    contrib = np.tensordot(
-                        grad_nhwf, weight.data[:, :, i, j], axes=([3], [0])
-                    )  # (N, OH, OW, C)
-                    dxp[
-                        :, :, i : i + stride * oh : stride,
-                        j : j + stride * ow : stride,
-                    ] += contrib.transpose(0, 3, 1, 2)
-            if padding:
-                dxp = dxp[:, :, padding:-padding, padding:-padding]
-            x._accumulate(dxp)
+                    out_nhwf += np.tensordot(
+                        tap_slice(i, j), weight.data[:, :, i, j], axes=([1], [1])
+                    )
+            out = out_nhwf.transpose(0, 3, 1, 2)
+        else:
+            out = np.empty((n, f, oh, ow), dtype=xp.dtype)
+            w_flat = weight.data.reshape(f, -1)
+            for i in range(oh):
+                for j in range(ow):
+                    patch = xp[
+                        :, :, i * stride : i * stride + kh, j * stride : j * stride + kw
+                    ].reshape(n, -1)
+                    out[:, :, i, j] = patch @ w_flat.T
+
+        if bias is not None:
+            out = out + bias.data.reshape(1, f, 1, 1)
+        _op.set_bytes(out.nbytes)
+
+    def backward(grad):
+        with op_span("ops_conv.conv2d.backward"):
+            if weight.requires_grad:
+                if accelerated:
+                    dw = np.empty_like(weight.data)
+                    for i in range(kh):
+                        for j in range(kw):
+                            dw[:, :, i, j] = np.tensordot(
+                                grad, tap_slice(i, j), axes=([0, 2, 3], [0, 2, 3])
+                            )
+                else:
+                    dw = np.zeros_like(weight.data)
+                    w_rows = dw.reshape(f, -1)
+                    for i in range(oh):
+                        for j in range(ow):
+                            patch = xp[
+                                :,
+                                :,
+                                i * stride : i * stride + kh,
+                                j * stride : j * stride + kw,
+                            ].reshape(n, -1)
+                            w_rows += grad[:, :, i, j].T @ patch
+                weight._accumulate(dw)
+            if bias is not None and bias.requires_grad:
+                bias._accumulate(grad.sum(axis=(0, 2, 3)))
+            if x.requires_grad:
+                dxp = np.zeros_like(xp)
+                grad_nhwf = grad.transpose(0, 2, 3, 1)  # (N, OH, OW, F)
+                for i in range(kh):
+                    for j in range(kw):
+                        contrib = np.tensordot(
+                            grad_nhwf, weight.data[:, :, i, j], axes=([3], [0])
+                        )  # (N, OH, OW, C)
+                        dxp[
+                            :, :, i : i + stride * oh : stride,
+                            j : j + stride * ow : stride,
+                        ] += contrib.transpose(0, 3, 1, 2)
+                if padding:
+                    dxp = dxp[:, :, padding:-padding, padding:-padding]
+                x._accumulate(dxp)
 
     parents = (x, weight) if bias is None else (x, weight, bias)
     return Tensor._make(out, parents, backward)
@@ -157,50 +166,55 @@ def conv_transpose2d(
     if oh <= 0 or ow <= 0:
         raise ValueError("conv_transpose output would be empty")
 
-    full = np.zeros(
-        (n, f, (h - 1) * stride + kh, (w - 1) * stride + kw), dtype=x.data.dtype
-    )
-    for i in range(kh):
-        for j in range(kw):
-            # (N, H, W, F) contribution from kernel tap (i, j)
-            contrib = np.tensordot(x.data, weight.data[:, :, i, j], axes=([1], [0]))
-            full[:, :, i : i + stride * h : stride, j : j + stride * w : stride] += (
-                contrib.transpose(0, 3, 1, 2)
-            )
-    out = full[:, :, padding : padding + oh, padding : padding + ow]
-    if bias is not None:
-        out = out + bias.data.reshape(1, f, 1, 1)
+    with op_span("ops_conv.conv_transpose2d") as _op:
+        full = np.zeros(
+            (n, f, (h - 1) * stride + kh, (w - 1) * stride + kw), dtype=x.data.dtype
+        )
+        for i in range(kh):
+            for j in range(kw):
+                # (N, H, W, F) contribution from kernel tap (i, j)
+                contrib = np.tensordot(x.data, weight.data[:, :, i, j], axes=([1], [0]))
+                full[:, :, i : i + stride * h : stride, j : j + stride * w : stride] += (
+                    contrib.transpose(0, 3, 1, 2)
+                )
+        out = full[:, :, padding : padding + oh, padding : padding + ow]
+        if bias is not None:
+            out = out + bias.data.reshape(1, f, 1, 1)
+        _op.set_bytes(out.nbytes)
 
     def backward(grad):
-        gfull = np.zeros(
-            (n, f, (h - 1) * stride + kh, (w - 1) * stride + kw),
-            dtype=grad.dtype,
-        )
-        gfull[:, :, padding : padding + oh, padding : padding + ow] = grad
-        if x.requires_grad:
-            dx = np.zeros_like(x.data)
-            for i in range(kh):
-                for j in range(kw):
-                    gslice = gfull[
-                        :, :, i : i + stride * h : stride, j : j + stride * w : stride
-                    ]
-                    dx += np.tensordot(
-                        gslice, weight.data[:, :, i, j], axes=([1], [1])
-                    ).transpose(0, 3, 1, 2)
-            x._accumulate(dx)
-        if weight.requires_grad:
-            dw = np.zeros_like(weight.data)
-            for i in range(kh):
-                for j in range(kw):
-                    gslice = gfull[
-                        :, :, i : i + stride * h : stride, j : j + stride * w : stride
-                    ]
-                    dw[:, :, i, j] = np.tensordot(
-                        x.data, gslice, axes=([0, 2, 3], [0, 2, 3])
-                    )
-            weight._accumulate(dw)
-        if bias is not None and bias.requires_grad:
-            bias._accumulate(grad.sum(axis=(0, 2, 3)))
+        with op_span("ops_conv.conv_transpose2d.backward"):
+            gfull = np.zeros(
+                (n, f, (h - 1) * stride + kh, (w - 1) * stride + kw),
+                dtype=grad.dtype,
+            )
+            gfull[:, :, padding : padding + oh, padding : padding + ow] = grad
+            if x.requires_grad:
+                dx = np.zeros_like(x.data)
+                for i in range(kh):
+                    for j in range(kw):
+                        gslice = gfull[
+                            :, :, i : i + stride * h : stride,
+                            j : j + stride * w : stride,
+                        ]
+                        dx += np.tensordot(
+                            gslice, weight.data[:, :, i, j], axes=([1], [1])
+                        ).transpose(0, 3, 1, 2)
+                x._accumulate(dx)
+            if weight.requires_grad:
+                dw = np.zeros_like(weight.data)
+                for i in range(kh):
+                    for j in range(kw):
+                        gslice = gfull[
+                            :, :, i : i + stride * h : stride,
+                            j : j + stride * w : stride,
+                        ]
+                        dw[:, :, i, j] = np.tensordot(
+                            x.data, gslice, axes=([0, 2, 3], [0, 2, 3])
+                        )
+                weight._accumulate(dw)
+            if bias is not None and bias.requires_grad:
+                bias._accumulate(grad.sum(axis=(0, 2, 3)))
 
     parents = (x, weight) if bias is None else (x, weight, bias)
     return Tensor._make(out, parents, backward)
@@ -218,15 +232,18 @@ def max_pool2d(x: Tensor, kernel: int, stride: int | None = None) -> Tensor:
             f"spatial dims ({h}, {w}) must be divisible by kernel {kernel}"
         )
     oh, ow = h // kernel, w // kernel
-    blocks = x.data.reshape(n, c, oh, kernel, ow, kernel)
-    out = blocks.max(axis=(3, 5))
+    with op_span("ops_conv.max_pool2d") as _op:
+        blocks = x.data.reshape(n, c, oh, kernel, ow, kernel)
+        out = blocks.max(axis=(3, 5))
+        _op.set_bytes(out.nbytes)
 
     def backward(grad):
-        expanded = out[:, :, :, None, :, None]
-        mask = blocks == expanded
-        counts = mask.sum(axis=(3, 5), keepdims=True)
-        g = grad[:, :, :, None, :, None] * mask / counts
-        x._accumulate(g.reshape(n, c, h, w))
+        with op_span("ops_conv.max_pool2d.backward"):
+            expanded = out[:, :, :, None, :, None]
+            mask = blocks == expanded
+            counts = mask.sum(axis=(3, 5), keepdims=True)
+            g = grad[:, :, :, None, :, None] * mask / counts
+            x._accumulate(g.reshape(n, c, h, w))
 
     return Tensor._make(out, (x,), backward)
 
@@ -242,8 +259,10 @@ def avg_pool2d(x: Tensor, kernel: int, stride: int | None = None) -> Tensor:
             f"spatial dims ({h}, {w}) must be divisible by kernel {kernel}"
         )
     oh, ow = h // kernel, w // kernel
-    blocks = x.data.reshape(n, c, oh, kernel, ow, kernel)
-    out = blocks.mean(axis=(3, 5))
+    with op_span("ops_conv.avg_pool2d") as _op:
+        blocks = x.data.reshape(n, c, oh, kernel, ow, kernel)
+        out = blocks.mean(axis=(3, 5))
+        _op.set_bytes(out.nbytes)
 
     def backward(grad):
         g = np.broadcast_to(
@@ -258,7 +277,9 @@ def avg_pool2d(x: Tensor, kernel: int, stride: int | None = None) -> Tensor:
 def upsample_nearest2d(x: Tensor, scale: int) -> Tensor:
     """Nearest-neighbour upsampling by an integer factor."""
     n, c, h, w = x.shape
-    out = np.repeat(np.repeat(x.data, scale, axis=2), scale, axis=3)
+    with op_span("ops_conv.upsample_nearest2d") as _op:
+        out = np.repeat(np.repeat(x.data, scale, axis=2), scale, axis=3)
+        _op.set_bytes(out.nbytes)
 
     def backward(grad):
         g = grad.reshape(n, c, h, scale, w, scale).sum(axis=(3, 5))

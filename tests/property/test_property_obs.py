@@ -140,7 +140,10 @@ def test_root_rows_out_matches_collected_size(pipeline):
         collected += part.num_rows
     root = stats.node(plan)
     assert root.rows_out == collected
-    assert root.partitions <= max(1, collected) or collected == 0
+    # A filter can empty individual partitions without merging them,
+    # so partition count is bounded by what flowed in — not by the
+    # collected row count.  At least one partition is always metered.
+    assert root.partitions >= 1 or collected == 0
 
 
 @settings(max_examples=40, deadline=None)

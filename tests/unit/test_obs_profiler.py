@@ -1,0 +1,416 @@
+"""Unit tests for repro.obs.profiler: module/op events, FLOPs
+accounting, schedule gating, key_averages (incl. the golden table),
+Chrome trace export, and atomic JSON writes."""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+
+import numpy as np
+import pytest
+
+from repro import nn, obs
+from repro.core.training import Trainer, classification_batch
+from repro.data import DataLoader, TensorDataset
+from repro.obs.export import atomic_write_json, to_chrome_trace
+from repro.obs.profiler import (
+    Profiler,
+    ProfilerAction,
+    active_profiler,
+    op_span,
+    schedule,
+)
+from repro.optim import SGD
+from repro.tensor import Tensor
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    obs.reset()
+    obs.set_enabled(True)
+    yield
+    obs.reset()
+    obs.set_enabled(True)
+
+
+def small_model() -> nn.Sequential:
+    return nn.Sequential(
+        nn.Conv2d(1, 2, 3, padding=1, rng=0),
+        nn.ReLU(),
+        nn.MaxPool2d(2),
+        nn.GlobalAvgPool2d(),
+        nn.Linear(2, 3, rng=0),
+    )
+
+def small_input(n: int = 4) -> Tensor:
+    return Tensor(
+        np.random.default_rng(0).normal(size=(n, 1, 8, 8)).astype(np.float32)
+    )
+
+
+class TestProfilerEvents:
+    def test_records_one_event_per_module_call(self):
+        model = small_model()
+        with Profiler(model) as prof:
+            model(small_input())
+        module_events = [e for e in prof.events if e.kind == "module"]
+        # 5 children + the Sequential root.
+        assert len(module_events) == 6
+        names = {e.name for e in module_events}
+        assert "Sequential" in names and "Sequential.0" in names
+
+    def test_kernel_events_nest_under_module(self):
+        model = small_model()
+        with Profiler(model) as prof:
+            model(small_input())
+        conv_op = next(e for e in prof.events if e.name == "ops_conv.conv2d")
+        conv_module = next(e for e in prof.events if e.name == "Sequential.0")
+        assert conv_op.kind == "op"
+        assert conv_op.depth > conv_module.depth
+        # Kernel time is carved out of the module's self time.
+        assert conv_module.self_dur <= conv_module.dur - conv_op.dur + 1e-9
+
+    def test_self_time_excludes_children(self):
+        model = small_model()
+        with Profiler(model) as prof:
+            model(small_input())
+        root = next(e for e in prof.events if e.name == "Sequential")
+        children_dur = sum(
+            e.dur for e in prof.events if e.name.startswith("Sequential.")
+        )
+        assert root.self_dur == pytest.approx(root.dur - children_dur, abs=1e-6)
+
+    def test_detach_removes_hooks_and_clears_active(self):
+        model = small_model()
+        prof = Profiler(model)
+        prof.start()
+        assert active_profiler() is prof
+        prof.stop()
+        assert active_profiler() is None
+        assert all(
+            not m._forward_hooks and not m._forward_pre_hooks
+            for _, m in model.named_modules()
+        )
+        model(small_input())  # no profiler -> no new events
+        assert not any(e.name == "extra" for e in prof.events)
+
+    def test_two_active_profilers_rejected(self):
+        first = Profiler(small_model()).start()
+        try:
+            with pytest.raises(RuntimeError):
+                Profiler(small_model()).start()
+        finally:
+            first.stop()
+
+    def test_max_events_drops_not_grows(self):
+        model = small_model()
+        prof = Profiler(model, max_events=3)
+        with prof:
+            model(small_input())
+        assert len(prof.events) == 3
+        assert prof.dropped_events > 0
+
+
+class TestFlops:
+    def test_linear_formula(self):
+        layer = nn.Linear(3, 5, rng=0)
+        x = Tensor(np.zeros((7, 3), dtype=np.float32))
+        with Profiler(layer) as prof:
+            layer(x)
+        (event,) = [e for e in prof.events if e.kind == "module"]
+        assert event.flops == 2 * 7 * 3 * 5 + 7 * 5  # matmul + bias
+
+    def test_conv2d_formula(self):
+        layer = nn.Conv2d(2, 4, 3, padding=1, rng=0)
+        x = Tensor(np.zeros((1, 2, 8, 8), dtype=np.float32))
+        with Profiler(layer) as prof:
+            layer(x)
+        (event,) = [e for e in prof.events if e.kind == "module"]
+        # 2 * N*F*OH*OW * C*K*K + bias
+        assert event.flops == 2 * 1 * 4 * 8 * 8 * 2 * 9 + 1 * 4 * 8 * 8
+
+    def test_param_and_activation_bytes(self):
+        layer = nn.Linear(3, 5, rng=0)
+        x = Tensor(np.zeros((7, 3), dtype=np.float32))
+        with Profiler(layer) as prof:
+            out = layer(x)
+        (event,) = [e for e in prof.events if e.kind == "module"]
+        assert event.param_bytes == (3 * 5 + 5) * 4
+        assert event.activation_bytes == out.data.nbytes
+
+    def test_recurrent_formula_counts_cell_and_gates(self):
+        cell = nn.LSTMCell(2, 3, rng=0)
+        x = Tensor(np.zeros((4, 2), dtype=np.float32))
+        with Profiler(cell) as prof:
+            cell(x)
+        by_name = {e.name: e for e in prof.events if e.kind == "module"}
+        assert by_name["LSTMCell"].flops == 9 * 4 * 3
+        # The (I+H) x 4H affine map is charged to the child Linear.
+        gates = by_name["LSTMCell.gates"]
+        assert gates.flops == 2 * 4 * (2 + 3) * 12 + 4 * 12
+
+    def test_containers_contribute_zero_flops(self):
+        model = small_model()
+        with Profiler(model) as prof:
+            model(small_input())
+        root = next(e for e in prof.events if e.name == "Sequential")
+        assert root.flops == 0.0
+        assert prof.total_flops() > 0
+
+
+class TestSchedule:
+    def test_actions_cycle(self):
+        fn = schedule(wait=2, warmup=1, active=2)
+        actions = [fn(step) for step in range(10)]
+        assert actions == [
+            ProfilerAction.NONE, ProfilerAction.NONE, ProfilerAction.WARMUP,
+            ProfilerAction.RECORD, ProfilerAction.RECORD,
+            ProfilerAction.NONE, ProfilerAction.NONE, ProfilerAction.WARMUP,
+            ProfilerAction.RECORD, ProfilerAction.RECORD,
+        ]
+
+    def test_repeat_stops_after_n_cycles(self):
+        fn = schedule(wait=0, warmup=0, active=2, repeat=1)
+        assert fn(0) == ProfilerAction.RECORD
+        assert fn(1) == ProfilerAction.RECORD
+        assert fn(2) == ProfilerAction.NONE
+        assert fn(100) == ProfilerAction.NONE
+
+    def test_invalid_schedule(self):
+        with pytest.raises(ValueError):
+            schedule(active=0)
+        with pytest.raises(ValueError):
+            schedule(wait=-1)
+
+    def test_only_active_steps_recorded(self):
+        layer = nn.Linear(3, 3, rng=0)
+        x = Tensor(np.zeros((2, 3), dtype=np.float32))
+        prof = Profiler(layer, schedule=schedule(wait=1, warmup=1, active=2, repeat=1))
+        with prof:
+            for _ in range(6):
+                layer(x)
+                prof.step()
+        steps = sorted({e.step for e in prof.events})
+        # Steps 0 (wait) and 1 (warmup) are not kept; 2 and 3 are.
+        assert steps == [2, 3]
+
+    def test_on_trace_ready_fires_at_window_end(self):
+        layer = nn.Linear(3, 3, rng=0)
+        x = Tensor(np.zeros((2, 3), dtype=np.float32))
+        ready = []
+        prof = Profiler(
+            layer,
+            schedule=schedule(active=2, repeat=1),
+            on_trace_ready=lambda p: ready.append(len(p.events)),
+        )
+        with prof:
+            for _ in range(4):
+                layer(x)
+                prof.step()
+        assert len(ready) == 1
+        assert ready[0] == len(prof.events)
+
+
+class TestOpSpanFastPath:
+    def test_no_profiler_returns_shared_noop(self):
+        first = op_span("x")
+        second = op_span("y")
+        assert first is second  # the shared null span
+
+    def test_noop_span_accepts_set_bytes(self):
+        with op_span("x") as span:
+            span.set_bytes(123)  # must not raise
+
+
+class TestTrainerIntegration:
+    @staticmethod
+    def make_bits(seed=0):
+        rng = np.random.default_rng(seed)
+        images = rng.normal(size=(12, 1, 8, 8)).astype(np.float32)
+        labels = rng.integers(0, 3, 12)
+        loader = DataLoader(TensorDataset(images, labels), batch_size=4)
+        model = small_model()
+        trainer = Trainer(
+            model,
+            SGD(model.parameters(), lr=0.01),
+            nn.CrossEntropyLoss(),
+            classification_batch,
+        )
+        return trainer, loader
+
+    def test_fit_steps_and_stops_profiler(self):
+        trainer, loader = self.make_bits()
+        prof = Profiler(schedule=schedule(wait=1, active=2, repeat=1))
+        trainer.fit(loader, epochs=1, profiler=prof)
+        assert prof.model is trainer.model
+        assert not prof._started  # fit stopped what it started
+        assert active_profiler() is None
+        assert prof.step_num == 3  # one step per batch
+        assert any(e.kind == "module" for e in prof.events)
+        assert any(e.name == "dataloader.fetch" for e in prof.events)
+
+    def test_fit_leaves_caller_started_profiler_running(self):
+        trainer, loader = self.make_bits()
+        with Profiler(trainer.model) as prof:
+            trainer.fit(loader, epochs=1, profiler=prof)
+            assert prof._started
+        assert active_profiler() is None
+
+    def test_dataloader_metrics_recorded(self):
+        trainer, loader = self.make_bits()
+        trainer.fit(loader, epochs=1)
+        snap = obs.registry.snapshot()
+        assert snap["counters"]["dataloader.batches"] == 3
+        assert snap["counters"]["dataloader.samples"] == 12
+        hist = snap["histograms"]["dataloader.batch_fetch_seconds"]
+        assert hist["count"] == 3
+
+    def test_dataloader_metrics_disabled_noop(self):
+        trainer, loader = self.make_bits()
+        with obs.disabled():
+            trainer.fit(loader, epochs=1)
+        snap = obs.registry.snapshot()
+        assert snap["counters"].get("dataloader.batches", 0) == 0
+
+
+GOLDEN_TABLE = """\
+-----------------------------------------------------------------------------------------------------------------------------
+name                               type                    calls   total_ms    self_ms          flops    param_B        act_B
+-----------------------------------------------------------------------------------------------------------------------------
+Sequential                         Sequential                  1      #.###      #.###              0          0           48
+Sequential.0                       Conv2d                      1      #.###      #.###           9728         80         2048
+Sequential.1                       ReLU                        1      #.###      #.###            512          0         2048
+Sequential.2                       MaxPool2d                   1      #.###      #.###            512          0          512
+Sequential.3                       GlobalAvgPool2d             1      #.###      #.###              8          0           32
+Sequential.4                       Linear                      1      #.###      #.###             60         36           48
+ops_conv.conv2d                    ops_conv.conv2d             1      #.###      #.###              0          0         2048
+ops_conv.max_pool2d                ops_conv.max_pool2d         1      #.###      #.###              0          0          512
+-----------------------------------------------------------------------------------------------------------------------------
+total FLOPs 10820 · param bytes 116 · rows 8"""
+
+
+def mask_times(table: str) -> str:
+    """Replace wall-clock cells (the only nondeterminism) with #.###."""
+    return re.sub(r"\d+\.\d{3}", "#.###", table)
+
+
+class TestKeyAverages:
+    def test_golden_table_masked_times(self):
+        model = small_model()
+        with Profiler(model) as prof:
+            model(small_input())
+        table = prof.key_averages().table(sort_by="name")
+        assert mask_times(table) == GOLDEN_TABLE
+
+    def test_calls_accumulate_and_params_not_multiplied(self):
+        layer = nn.Linear(3, 3, rng=0)
+        x = Tensor(np.zeros((2, 3), dtype=np.float32))
+        with Profiler(layer) as prof:
+            layer(x)
+            layer(x)
+            layer(x)
+        (row,) = prof.key_averages().rows
+        assert row["calls"] == 3
+        assert row["param_bytes"] == (3 * 3 + 3) * 4  # once, not 3x
+
+    def test_group_by_op_type_merges_instances(self):
+        model = nn.Sequential(nn.Linear(3, 3, rng=0), nn.Linear(3, 3, rng=1))
+        x = Tensor(np.zeros((2, 3), dtype=np.float32))
+        with Profiler(model) as prof:
+            model(x)
+        averages = prof.key_averages(group_by="op_type")
+        linear = next(r for r in averages.rows if r["name"] == "Linear")
+        assert linear["calls"] == 2
+        # Two distinct modules: their params sum.
+        assert linear["param_bytes"] == 2 * (3 * 3 + 3) * 4
+
+    def test_bad_arguments_rejected(self):
+        prof = Profiler()
+        with pytest.raises(ValueError):
+            prof.key_averages(group_by="nope")
+        with pytest.raises(ValueError):
+            prof.key_averages().table(sort_by="nope")
+
+    def test_row_limit(self):
+        model = small_model()
+        with Profiler(model) as prof:
+            model(small_input())
+        table = prof.key_averages().table(sort_by="name", row_limit=2)
+        body = [
+            line for line in table.splitlines()
+            if line.startswith(("Sequential", "ops_conv"))
+        ]
+        assert len(body) == 2
+
+
+class TestChromeTrace:
+    def test_complete_events_have_required_keys(self):
+        model = small_model()
+        with Profiler(model) as prof:
+            model(small_input())
+        with obs.tracer.span("outer"):
+            with obs.tracer.span("inner"):
+                pass
+        trace = json.loads(json.dumps(to_chrome_trace(profiler=prof)))
+        complete = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert complete  # both profiler events and tracer spans present
+        for event in complete:
+            assert {"name", "ph", "ts", "dur", "pid", "tid"} <= set(event)
+        names = {e["name"] for e in complete}
+        assert {"Sequential", "ops_conv.conv2d", "outer", "inner"} <= names
+
+    def test_tracer_and_profiler_on_separate_tids(self):
+        model = small_model()
+        with Profiler(model) as prof:
+            model(small_input())
+        with obs.tracer.span("span"):
+            pass
+        trace = to_chrome_trace(profiler=prof)
+        complete = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        tids = {e["name"]: e["tid"] for e in complete}
+        assert tids["span"] != tids["Sequential"]
+
+    def test_nested_span_timestamps_are_contained(self):
+        with obs.tracer.span("outer"):
+            with obs.tracer.span("inner"):
+                pass
+        trace = to_chrome_trace()
+        events = {e["name"]: e for e in trace["traceEvents"] if e["ph"] == "X"}
+        outer, inner = events["outer"], events["inner"]
+        assert outer["ts"] <= inner["ts"]
+        assert inner["ts"] + inner["dur"] <= outer["ts"] + outer["dur"] + 1.0
+
+    def test_written_file_round_trips(self, tmp_path):
+        with obs.tracer.span("root"):
+            pass
+        path = str(tmp_path / "trace.json")
+        trace = to_chrome_trace(path)
+        loaded = json.loads(open(path).read())
+        assert loaded == json.loads(json.dumps(trace))
+        assert loaded["displayTimeUnit"] == "ms"
+
+
+class TestAtomicWrites:
+    def test_atomic_write_replaces_existing(self, tmp_path):
+        path = str(tmp_path / "out.json")
+        atomic_write_json(path, {"v": 1})
+        atomic_write_json(path, {"v": 2})
+        assert json.loads(open(path).read()) == {"v": 2}
+        assert os.listdir(tmp_path) == ["out.json"]  # no temp litter
+
+    def test_failed_write_leaves_target_intact(self, tmp_path):
+        path = str(tmp_path / "out.json")
+        atomic_write_json(path, {"v": 1})
+        with pytest.raises(TypeError):
+            atomic_write_json(path, {"v": object()})  # not serializable
+        assert json.loads(open(path).read()) == {"v": 1}
+        assert os.listdir(tmp_path) == ["out.json"]
+
+    def test_dump_json_is_atomic(self, tmp_path):
+        obs.registry.counter("x").inc(2)
+        path = str(tmp_path / "snap.json")
+        obs.export.dump_json(path)
+        assert json.loads(open(path).read())["metrics"]["counters"]["x"] == 2
+        assert os.listdir(tmp_path) == ["snap.json"]

@@ -115,4 +115,36 @@ class TestStepLR:
 
     def test_invalid_step_size(self):
         with pytest.raises(ValueError):
-            StepLR(Adam([_param([1.0])], lr=1.0), step_size=0)
+            StepLR(Adam([_param([1.0])], lr=0.1), step_size=0)
+        with pytest.raises(ValueError):
+            StepLR(Adam([_param([1.0])], lr=0.1), step_size=-3)
+
+    def test_step_size_one_decays_every_epoch(self):
+        opt = Adam([_param([1.0])], lr=1.0)
+        sched = StepLR(opt, step_size=1, gamma=0.5)
+        for expected in (0.5, 0.25, 0.125):
+            sched.step()
+            assert sched.lr == pytest.approx(expected)
+
+    def test_no_decay_before_first_boundary(self):
+        opt = Adam([_param([1.0])], lr=1.0)
+        sched = StepLR(opt, step_size=10, gamma=0.1)
+        for _ in range(9):
+            sched.step()
+            assert sched.lr == pytest.approx(1.0)
+        sched.step()  # epoch 10 is the boundary
+        assert sched.lr == pytest.approx(0.1)
+
+    def test_gamma_one_keeps_lr_constant(self):
+        opt = Adam([_param([1.0])], lr=0.3)
+        sched = StepLR(opt, step_size=2, gamma=1.0)
+        for _ in range(8):
+            sched.step()
+        assert sched.lr == pytest.approx(0.3)
+
+    def test_scheduler_mutates_optimizer_lr(self):
+        opt = Adam([_param([1.0])], lr=1.0)
+        sched = StepLR(opt, step_size=1, gamma=0.1)
+        sched.step()
+        assert opt.lr == pytest.approx(0.1)
+        assert sched.lr == opt.lr
