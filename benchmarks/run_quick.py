@@ -256,6 +256,102 @@ def bench_train_overhead() -> dict:
     }
 
 
+def bench_convlstm_runtime() -> dict:
+    """The memory-aware training runtime on the paper's ConvLSTM.
+
+    One small ConvLSTM epoch under the fused runtime (fused gate
+    kernel, flat-buffer Adam, ``backward(free_graph=True)``) against
+    the reference configuration (unfused cells, per-parameter Adam,
+    retained graphs).  The two runs must end with bit-identical
+    parameters — the fused runtime is a pure perf change.
+
+    Keys (gated by scripts/diff_bench.py):
+
+    - ``epoch_time_convlstm_s`` — fused epoch wall time (best of 3).
+    - ``peak_activation_bytes`` — tracemalloc peak over one fused
+      epoch; graph freeing releases every intermediate during the
+      backward walk, so this sits far below the retained-graph peak
+      (also recorded, as ``peak_activation_bytes_retained``).
+    """
+    import tracemalloc
+
+    from repro.nn import functional as F
+    from repro.nn.recurrent import ConvLSTM
+    from repro.optim import Adam
+    from repro.tensor import Tensor
+    from repro.tensor.pool import default_pool
+
+    rng = np.random.default_rng(13)
+    frames = [
+        (
+            Tensor(rng.normal(size=(4, 8, 2, 16, 16)).astype(np.float32)),
+            Tensor(rng.normal(size=(4, 8, 4, 16, 16)).astype(np.float32)),
+        )
+        for _ in range(4)
+    ]
+
+    def make(fused: bool):
+        model = ConvLSTM(2, [4], 3, rng=np.random.default_rng(0), fused=fused)
+        opt = Adam(list(model.parameters()), lr=1e-3, fused=fused)
+        return model, opt
+
+    def epoch(model, opt, free_graph: bool) -> None:
+        for x, y in frames:
+            opt.zero_grad()
+            loss = F.mse_loss(model(x), y)
+            loss.backward(free_graph=free_graph)
+            opt.step()
+
+    # Bit-identity first (also serves as warmup for both paths).
+    fused_model, fused_opt = make(True)
+    ref_model, ref_opt = make(False)
+    epoch(fused_model, fused_opt, free_graph=True)
+    epoch(ref_model, ref_opt, free_graph=False)
+    for a, b in zip(fused_model.parameters(), ref_model.parameters()):
+        assert np.array_equal(a.data, b.data), (
+            "fused ConvLSTM runtime diverged from the reference path"
+        )
+
+    # Interleaved best-of-N timing, same scheme as bench_observability.
+    # N is higher than the other stages: a fused epoch is ~30ms, so
+    # scheduler jitter shows up unless the min has enough draws.
+    repeats = 7
+    epoch(fused_model, fused_opt, free_graph=True)  # second warmup: pool hot
+    epoch(ref_model, ref_opt, free_graph=False)
+    fused_s = ref_s = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        epoch(fused_model, fused_opt, free_graph=True)
+        fused_s = min(fused_s, time.perf_counter() - started)
+        started = time.perf_counter()
+        epoch(ref_model, ref_opt, free_graph=False)
+        ref_s = min(ref_s, time.perf_counter() - started)
+
+    # Peak traced bytes over one epoch (numpy buffers register with
+    # tracemalloc).  Separate pass: tracing slows the epoch, so it
+    # must not share the timing runs above.
+    peaks = {}
+    for key, (model, opt, free) in {
+        "peak_activation_bytes": (fused_model, fused_opt, True),
+        "peak_activation_bytes_retained": (ref_model, ref_opt, False),
+    }.items():
+        tracemalloc.start()
+        try:
+            tracemalloc.reset_peak()
+            epoch(model, opt, free)
+            peaks[key] = tracemalloc.get_traced_memory()[1]
+        finally:
+            tracemalloc.stop()
+
+    return {
+        "epoch_time_convlstm_s": fused_s,
+        "epoch_time_convlstm_reference_s": ref_s,
+        "convlstm_speedup": ref_s / fused_s,
+        **peaks,
+        "tensor_pool": default_pool().stats(),
+    }
+
+
 def bench_fig8_leg(n: int = 50_000) -> dict:
     from repro.experiments.fig8 import make_records, run_engine_prep
 
@@ -276,6 +372,7 @@ def main() -> dict:
         bench_optimizer,
         bench_observability,
         bench_train_overhead,
+        bench_convlstm_runtime,
         bench_fig8_leg,
     )
     for stage in stages:

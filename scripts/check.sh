@@ -5,7 +5,8 @@
 #   3. bench smoke: benchmarks/run_quick.py runs to completion and
 #      regenerates BENCH_engine.json (incl. per-operator breakdown)
 #   4. bench diff: the fresh BENCH_engine.json must not regress the
-#      obs-overhead or join-speedup keys >25% vs the committed one
+#      watched keys (obs overhead, join speedup, ConvLSTM epoch time,
+#      peak activation bytes) >25% vs the committed one
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"

@@ -10,6 +10,10 @@ regenerating BENCH_engine.json):
   the join workload; higher is worse.
 - ``join_speedup`` — vectorized join vs the per-row reference; lower
   is worse.
+- ``epoch_time_convlstm_s`` — fused-runtime ConvLSTM epoch wall time;
+  higher is worse.
+- ``peak_activation_bytes`` — tracemalloc peak of the graph-freeing
+  ConvLSTM epoch; higher is worse.
 
 A key regresses when it moves more than ``TOLERANCE`` (25%) in its bad
 direction.  Missing keys in the baseline (older file layouts) are
@@ -28,6 +32,8 @@ TOLERANCE = 0.25
 WATCHED = {
     "obs_overhead_ratio": "lower",
     "join_speedup": "higher",
+    "epoch_time_convlstm_s": "lower",
+    "peak_activation_bytes": "lower",
 }
 
 

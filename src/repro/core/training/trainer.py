@@ -49,6 +49,13 @@ class Trainer:
     training_mode:
         ``"incremental"`` (step per batch) or ``"cumulative"``
         (step per epoch).
+    free_graph:
+        When True (the default) ``loss.backward(free_graph=True)``
+        releases every intermediate activation, gradient, and closure
+        during the backward walk, bounding peak memory at roughly one
+        live layer instead of the whole unrolled graph.  Set False to
+        retain graphs (e.g. to inspect intermediate ``.grad`` after
+        training, or to call backward twice on one loss).
     """
 
     def __init__(
@@ -59,6 +66,7 @@ class Trainer:
         batch_adapter,
         training_mode: str = "incremental",
         grad_clip: float | None = None,
+        free_graph: bool = True,
     ):
         if training_mode not in ("incremental", "cumulative"):
             raise ValueError(
@@ -73,6 +81,7 @@ class Trainer:
         self.batch_adapter = batch_adapter
         self.training_mode = training_mode
         self.grad_clip = grad_clip
+        self.free_graph = free_graph
 
     def _global_grad_norm(self) -> float:
         """Global L2 norm over all parameter gradients."""
@@ -120,12 +129,12 @@ class Trainer:
             loss = self.loss_fn(output, target)
             if self.training_mode == "incremental":
                 self.optimizer.zero_grad()
-                loss.backward()
+                loss.backward(free_graph=self.free_graph)
                 if self.grad_clip is not None:
                     self._clip_gradients()
                 self.optimizer.step()
             else:
-                loss.backward()
+                loss.backward(free_graph=self.free_graph)
             total += loss.item()
             batches += 1
             if profiler is not None:

@@ -21,6 +21,7 @@ class Conv2d(Module):
         padding: int = 0,
         bias: bool = True,
         rng=None,
+        activation: str | None = None,
     ):
         super().__init__()
         check_positive(in_channels, "in_channels")
@@ -33,6 +34,7 @@ class Conv2d(Module):
         self.kernel_size = kernel_size
         self.stride = stride
         self.padding = padding
+        self.activation = activation
         gen = default_rng(rng, label="conv2d")
         self.weight = Parameter(
             init.kaiming_uniform(
@@ -43,7 +45,12 @@ class Conv2d(Module):
 
     def forward(self, x):
         return F.conv2d(
-            x, self.weight, self.bias, stride=self.stride, padding=self.padding
+            x,
+            self.weight,
+            self.bias,
+            stride=self.stride,
+            padding=self.padding,
+            activation=self.activation,
         )
 
     def __repr__(self):

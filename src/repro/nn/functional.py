@@ -13,6 +13,10 @@ from repro.tensor.ops_conv import (  # noqa: F401  (re-exported)
     max_pool2d,
     upsample_nearest2d,
 )
+from repro.tensor.ops_fused import (  # noqa: F401  (re-exported)
+    fused_linear,
+    fused_lstm_gates,
+)
 
 
 def relu(x: Tensor) -> Tensor:
@@ -50,11 +54,11 @@ def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
 
 
 def linear(x: Tensor, weight: Tensor, bias: Tensor | None = None) -> Tensor:
-    """``x @ weight.T + bias`` with weight of shape (out, in)."""
-    out = x @ weight.T
-    if bias is not None:
-        out = out + bias
-    return out
+    """``x @ weight.T + bias`` with weight of shape (out, in).
+
+    One fused autograd node (:func:`repro.tensor.ops_fused.fused_linear`)
+    instead of the matmul/transpose/add composition."""
+    return fused_linear(x, weight, bias)
 
 
 def dropout(x: Tensor, p: float, training: bool, rng=None) -> Tensor:

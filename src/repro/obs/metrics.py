@@ -17,6 +17,17 @@ import threading
 
 import numpy as np
 
+_obs = None  # lazily bound repro.obs module (import cycle at load time)
+
+
+def _enabled() -> bool:
+    global _obs
+    if _obs is None:
+        from repro import obs
+
+        _obs = obs
+    return _obs.enabled()
+
 
 class Counter:
     """Monotonically increasing value (int or float increments)."""
@@ -28,9 +39,7 @@ class Counter:
         self.value = 0
 
     def inc(self, amount=1) -> None:
-        from repro import obs
-
-        if not obs.enabled():
+        if not _enabled():
             return
         self.value += amount
 
@@ -48,16 +57,12 @@ class Gauge:
         self.value = 0
 
     def set(self, value) -> None:
-        from repro import obs
-
-        if not obs.enabled():
+        if not _enabled():
             return
         self.value = value
 
     def set_max(self, value) -> None:
-        from repro import obs
-
-        if not obs.enabled():
+        if not _enabled():
             return
         if value > self.value:
             self.value = value
@@ -87,9 +92,7 @@ class Histogram:
         self.values: list = []
 
     def observe(self, value) -> None:
-        from repro import obs
-
-        if not obs.enabled():
+        if not _enabled():
             return
         value = float(value)
         self.count += 1

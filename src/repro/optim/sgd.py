@@ -1,9 +1,17 @@
-"""Stochastic gradient descent with optional momentum."""
+"""Stochastic gradient descent with optional momentum.
+
+Defaults to the flat-buffer fused step (see
+:class:`repro.optim.flat.FlatParamBuffer` and :mod:`repro.optim.adam`
+for the scheme); ``fused=False`` keeps the reference per-parameter
+loop.  Both paths produce bit-identical parameters.
+"""
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.obs.profiler import op_span
+from repro.optim.flat import FlatParamBuffer
 from repro.optim.optimizer import Optimizer
 
 
@@ -11,13 +19,71 @@ class SGD(Optimizer):
     """SGD update: ``p -= lr * (momentum_buffer or grad)``."""
 
     def __init__(self, params, lr: float = 0.01, momentum: float = 0.0,
-                 weight_decay: float = 0.0):
+                 weight_decay: float = 0.0, fused: bool = True):
         super().__init__(params, lr)
         self.momentum = momentum
         self.weight_decay = weight_decay
-        self._velocity = [None] * len(self.params)
+        if fused:
+            try:
+                self._buf = FlatParamBuffer(self.params)
+            except TypeError:
+                fused = False
+        self.fused = fused
+        if fused:
+            # Flat zeros match the reference's lazy np.zeros_like init:
+            # momentum*0 + grad on first use is the same expression.
+            self._vel_flat = (
+                np.zeros(self._buf.size, dtype=self._buf.dtype)
+                if momentum
+                else None
+            )
+            self._g_flat = np.empty(self._buf.size, dtype=self._buf.dtype)
+            self._scratch = np.empty(self._buf.size, dtype=self._buf.dtype)
+        else:
+            self._velocity = [None] * len(self.params)
 
     def step(self) -> None:
+        if not self.fused:
+            return self._step_reference()
+        if not self._buf.views_intact():
+            self._buf.reflatten()
+        with op_span("optim.sgd.step"):
+            if self._buf.gather_grads(self._g_flat):
+                self._step_flat()
+            else:
+                self._step_partial()
+
+    def _step_flat(self) -> None:
+        P, G, T = self._buf.flat, self._g_flat, self._scratch
+        if self.weight_decay:
+            np.multiply(P, self.weight_decay, out=T)
+            np.add(G, T, out=G)
+        if self.momentum:
+            Vel = self._vel_flat
+            np.multiply(Vel, self.momentum, out=Vel)
+            np.add(Vel, G, out=Vel)
+            np.multiply(Vel, self.lr, out=T)
+        else:
+            np.multiply(G, self.lr, out=T)
+        np.subtract(P, T, out=P)
+
+    def _step_partial(self) -> None:
+        for i, param in enumerate(self.params):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            if self.momentum:
+                vel = self._buf.view(self._vel_flat, i)
+                vel[...] = self.momentum * vel + grad
+                grad = vel
+            param.data[...] = param.data - self.lr * grad
+
+    # ------------------------------------------------------------------
+    # Reference path (fused=False) — kept verbatim as the numerics pin
+    # ------------------------------------------------------------------
+    def _step_reference(self) -> None:
         for i, param in enumerate(self.params):
             if param.grad is None:
                 continue

@@ -22,6 +22,7 @@ from repro.tensor.backend import (
     set_backend,
     use_backend,
 )
+from repro.tensor.pool import ArrayPool, default_pool
 from repro.tensor.tensor import (
     Tensor,
     tensor,
@@ -55,4 +56,6 @@ __all__ = [
     "get_backend",
     "set_backend",
     "use_backend",
+    "ArrayPool",
+    "default_pool",
 ]

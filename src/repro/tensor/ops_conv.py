@@ -3,10 +3,14 @@
 Each primitive has two execution strategies selected by the active
 backend (:mod:`repro.tensor.backend`):
 
-- ``accelerated``: kernel-tap shift-and-add — KH*KW fused BLAS
-  tensordots over whole feature maps, no per-pixel Python and no
-  im2col materialization (copies of strided windows dominate im2col
-  cost on CPU at large spatial sizes).
+- ``accelerated``: one whole-convolution BLAS gemm over an im2col
+  column buffer that is *pooled*, not materialized fresh — the
+  ``(rows, KH*KW*C)`` scratch comes from :func:`default_pool`, so its
+  allocation cost (the classic im2col objection on CPU) is paid once
+  and amortized across every subsequent conv of the same shape.
+  Backward is one gemm for ``dw`` and one gemm plus a per-tap scatter
+  for ``dx``; small column buffers (``_COLS_KEEP_BYTES``) ride along
+  from forward to backward so ``dw`` skips the second fill pass.
 - ``naive``: per-output-pixel loops — the reference implementation
   used as the "CPU" leg of the Figure 9 reproduction.
 
@@ -24,11 +28,20 @@ import numpy as np
 
 from repro.obs.profiler import op_span
 from repro.tensor.backend import ACCELERATED, get_backend
+from repro.tensor.pool import default_pool
 from repro.tensor.tensor import Tensor
 
 
 def _conv_out_size(size: int, kernel: int, stride: int, padding: int) -> int:
     return (size + 2 * padding - kernel) // stride + 1
+
+
+#: Column buffers at or below this size are kept alive from forward to
+#: backward (dw reuses them instead of refilling).  Larger ones are
+#: released immediately — im2col retention costs KH*KW times the
+#: activation size, which defeats the graph-freeing memory budget on
+#: wide convolutions.
+_COLS_KEEP_BYTES = 1 << 20
 
 
 def conv2d(
@@ -37,6 +50,7 @@ def conv2d(
     bias: Tensor | None = None,
     stride: int = 1,
     padding: int = 0,
+    activation: str | None = None,
 ) -> Tensor:
     """2D cross-correlation.
 
@@ -45,7 +59,14 @@ def conv2d(
     x : Tensor of shape (N, C_in, H, W)
     weight : Tensor of shape (C_out, C_in, KH, KW)
     bias : optional Tensor of shape (C_out,)
+    activation : ``"relu"`` fuses the bias-add + ReLU epilogue into
+        this node — one graph node and one saved mask instead of a
+        separate activation node holding a second activation-sized
+        array.  Values and gradients match the composed
+        ``conv2d(...).relu()`` bit for bit.
     """
+    if activation not in (None, "relu"):
+        raise ValueError(f"unsupported conv2d activation {activation!r}")
     n, c, h, w = x.shape
     f, c_w, kh, kw = weight.shape
     if c != c_w:
@@ -60,11 +81,13 @@ def conv2d(
             f"{kh}x{kw}, stride {stride}, padding {padding}"
         )
 
-    xp = (
-        np.pad(x.data, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
-        if padding
-        else x.data
-    )
+    if padding:
+        xp = default_pool().acquire(
+            (n, c, h + 2 * padding, w + 2 * padding), x.data.dtype, zero=True
+        )
+        xp[:, :, padding:-padding, padding:-padding] = x.data
+    else:
+        xp = x.data
     accelerated = get_backend() == ACCELERATED
 
     def tap_slice(i: int, j: int) -> np.ndarray:
@@ -73,15 +96,40 @@ def conv2d(
             :, :, i : i + stride * oh : stride, j : j + stride * ow : stride
         ]
 
+    k2 = kh * kw
+    rows = n * oh * ow
+
+    def fill_cols(cols: np.ndarray) -> None:
+        """Lay the KH*KW tap windows side by side in ``cols`` —
+        (N*OH*OW, KH*KW*C) gemm layout.  Written through a 4-D view so
+        each tap is one strided copy, no intermediate materialization."""
+        cols4 = cols.reshape(n, oh, ow, k2 * c)
+        for i in range(kh):
+            for j in range(kw):
+                b = (i * kw + j) * c
+                cols4[:, :, :, b : b + c] = tap_slice(i, j).transpose(
+                    0, 2, 3, 1
+                )
+
+    saved_cols = None
     with op_span("ops_conv.conv2d") as _op:
         if accelerated:
-            out_nhwf = np.zeros((n, oh, ow, f), dtype=xp.dtype)
-            for i in range(kh):
-                for j in range(kw):
-                    out_nhwf += np.tensordot(
-                        tap_slice(i, j), weight.data[:, :, i, j], axes=([1], [1])
-                    )
-            out = out_nhwf.transpose(0, 3, 1, 2)
+            # One whole-convolution gemm over the pooled column buffer
+            # (recycled every call, so this does not carry im2col's
+            # allocation cost).
+            pool = default_pool()
+            w2 = weight.data.transpose(2, 3, 1, 0).reshape(k2 * c, f)
+            cols = pool.acquire((rows, k2 * c), xp.dtype)
+            fill_cols(cols)
+            out = np.dot(cols, w2).reshape(n, oh, ow, f).transpose(0, 3, 1, 2)
+            if weight.requires_grad and cols.nbytes <= _COLS_KEEP_BYTES:
+                # Small column buffers ride along to backward so dw
+                # skips a second fill pass.  Never pooled again: a
+                # retained graph may run backward twice, and a
+                # recycled buffer would hand it someone else's data.
+                saved_cols = cols
+            else:
+                pool.release(cols)
         else:
             out = np.empty((n, f, oh, ow), dtype=xp.dtype)
             w_flat = weight.data.reshape(f, -1)
@@ -94,20 +142,40 @@ def conv2d(
 
         if bias is not None:
             out = out + bias.data.reshape(1, f, 1, 1)
+        if activation == "relu":
+            # Same expression as Tensor.relu so fused == composed
+            # bitwise; only the mask is saved, not a pre-activation
+            # copy.
+            relu_mask = out > 0
+            out = out * relu_mask
+        else:
+            relu_mask = None
         _op.set_bytes(out.nbytes)
 
     def backward(grad):
         with op_span("ops_conv.conv2d.backward"):
+            pool = default_pool()
+            if relu_mask is not None:
+                grad = grad * relu_mask
             if weight.requires_grad:
                 if accelerated:
-                    dw = np.empty_like(weight.data)
-                    for i in range(kh):
-                        for j in range(kw):
-                            dw[:, :, i, j] = np.tensordot(
-                                grad, tap_slice(i, j), axes=([0, 2, 3], [0, 2, 3])
-                            )
+                    if saved_cols is not None:
+                        cols = saved_cols
+                    else:
+                        cols = pool.acquire((rows, k2 * c), xp.dtype)
+                        fill_cols(cols)
+                    grad_fm = grad.transpose(1, 0, 2, 3).reshape(f, -1)
+                    dw = np.ascontiguousarray(
+                        np.dot(grad_fm, cols)
+                        .reshape(f, kh, kw, c)
+                        .transpose(0, 3, 1, 2)
+                    )
+                    if saved_cols is None:
+                        pool.release(cols)
                 else:
-                    dw = np.zeros_like(weight.data)
+                    dw = pool.acquire(
+                        weight.data.shape, weight.data.dtype, zero=True
+                    )
                     w_rows = dw.reshape(f, -1)
                     for i in range(oh):
                         for j in range(ow):
@@ -118,24 +186,45 @@ def conv2d(
                                 j * stride : j * stride + kw,
                             ].reshape(n, -1)
                             w_rows += grad[:, :, i, j].T @ patch
-                weight._accumulate(dw)
+                weight._accumulate(dw, donate=True)
             if bias is not None and bias.requires_grad:
-                bias._accumulate(grad.sum(axis=(0, 2, 3)))
+                bias._accumulate(grad.sum(axis=(0, 2, 3)), donate=True)
             if x.requires_grad:
-                dxp = np.zeros_like(xp)
-                grad_nhwf = grad.transpose(0, 2, 3, 1)  # (N, OH, OW, F)
-                for i in range(kh):
-                    for j in range(kw):
-                        contrib = np.tensordot(
-                            grad_nhwf, weight.data[:, :, i, j], axes=([3], [0])
-                        )  # (N, OH, OW, C)
-                        dxp[
-                            :, :, i : i + stride * oh : stride,
-                            j : j + stride * ow : stride,
-                        ] += contrib.transpose(0, 3, 1, 2)
+                dxp = pool.acquire(xp.shape, xp.dtype, zero=True)
+                if accelerated:
+                    # One gemm produces every tap's contribution, then
+                    # each column block scatters into its shifted
+                    # window.
+                    grad_cols = grad.transpose(0, 2, 3, 1).reshape(-1, f)
+                    dcols4 = np.dot(grad_cols, w2.T).reshape(
+                        n, oh, ow, k2 * c
+                    )
+                    for i in range(kh):
+                        for j in range(kw):
+                            b = (i * kw + j) * c
+                            dxp[
+                                :, :, i : i + stride * oh : stride,
+                                j : j + stride * ow : stride,
+                            ] += dcols4[:, :, :, b : b + c].transpose(
+                                0, 3, 1, 2
+                            )
+                else:
+                    grad_nhwf = grad.transpose(0, 2, 3, 1)
+                    for i in range(kh):
+                        for j in range(kw):
+                            contrib = np.tensordot(
+                                grad_nhwf, weight.data[:, :, i, j],
+                                axes=([3], [0]),
+                            )
+                            dxp[
+                                :, :, i : i + stride * oh : stride,
+                                j : j + stride * ow : stride,
+                            ] += contrib.transpose(0, 3, 1, 2)
                 if padding:
-                    dxp = dxp[:, :, padding:-padding, padding:-padding]
-                x._accumulate(dxp)
+                    x._accumulate(dxp[:, :, padding:-padding, padding:-padding])
+                    pool.release(dxp)
+                else:
+                    x._accumulate(dxp, donate=True)
 
     parents = (x, weight) if bias is None else (x, weight, bias)
     return Tensor._make(out, parents, backward)
@@ -184,13 +273,15 @@ def conv_transpose2d(
 
     def backward(grad):
         with op_span("ops_conv.conv_transpose2d.backward"):
-            gfull = np.zeros(
+            pool = default_pool()
+            gfull = pool.acquire(
                 (n, f, (h - 1) * stride + kh, (w - 1) * stride + kw),
-                dtype=grad.dtype,
+                grad.dtype,
+                zero=True,
             )
             gfull[:, :, padding : padding + oh, padding : padding + ow] = grad
             if x.requires_grad:
-                dx = np.zeros_like(x.data)
+                dx = pool.acquire(x.data.shape, x.data.dtype, zero=True)
                 for i in range(kh):
                     for j in range(kw):
                         gslice = gfull[
@@ -200,9 +291,9 @@ def conv_transpose2d(
                         dx += np.tensordot(
                             gslice, weight.data[:, :, i, j], axes=([1], [1])
                         ).transpose(0, 3, 1, 2)
-                x._accumulate(dx)
+                x._accumulate(dx, donate=True)
             if weight.requires_grad:
-                dw = np.zeros_like(weight.data)
+                dw = pool.acquire(weight.data.shape, weight.data.dtype)
                 for i in range(kh):
                     for j in range(kw):
                         gslice = gfull[
@@ -212,9 +303,10 @@ def conv_transpose2d(
                         dw[:, :, i, j] = np.tensordot(
                             x.data, gslice, axes=([0, 2, 3], [0, 2, 3])
                         )
-                weight._accumulate(dw)
+                weight._accumulate(dw, donate=True)
             if bias is not None and bias.requires_grad:
-                bias._accumulate(grad.sum(axis=(0, 2, 3)))
+                bias._accumulate(grad.sum(axis=(0, 2, 3)), donate=True)
+            pool.release(gfull)
 
     parents = (x, weight) if bias is None else (x, weight, bias)
     return Tensor._make(out, parents, backward)
@@ -239,11 +331,14 @@ def max_pool2d(x: Tensor, kernel: int, stride: int | None = None) -> Tensor:
 
     def backward(grad):
         with op_span("ops_conv.max_pool2d.backward"):
+            pool = default_pool()
             expanded = out[:, :, :, None, :, None]
-            mask = blocks == expanded
+            mask = pool.acquire(blocks.shape, np.bool_)
+            np.equal(blocks, expanded, out=mask)
             counts = mask.sum(axis=(3, 5), keepdims=True)
             g = grad[:, :, :, None, :, None] * mask / counts
             x._accumulate(g.reshape(n, c, h, w))
+            pool.release(mask)
 
     return Tensor._make(out, (x,), backward)
 
@@ -265,11 +360,12 @@ def avg_pool2d(x: Tensor, kernel: int, stride: int | None = None) -> Tensor:
         _op.set_bytes(out.nbytes)
 
     def backward(grad):
-        g = np.broadcast_to(
-            grad[:, :, :, None, :, None] / (kernel * kernel),
-            (n, c, oh, kernel, ow, kernel),
-        )
-        x._accumulate(g.reshape(n, c, h, w).copy())
+        with op_span("ops_conv.avg_pool2d.backward"):
+            g = np.broadcast_to(
+                grad[:, :, :, None, :, None] / (kernel * kernel),
+                (n, c, oh, kernel, ow, kernel),
+            )
+            x._accumulate(g.reshape(n, c, h, w).copy(), donate=True)
 
     return Tensor._make(out, (x,), backward)
 
@@ -282,8 +378,9 @@ def upsample_nearest2d(x: Tensor, scale: int) -> Tensor:
         _op.set_bytes(out.nbytes)
 
     def backward(grad):
-        g = grad.reshape(n, c, h, scale, w, scale).sum(axis=(3, 5))
-        x._accumulate(g)
+        with op_span("ops_conv.upsample_nearest2d.backward"):
+            g = grad.reshape(n, c, h, scale, w, scale).sum(axis=(3, 5))
+            x._accumulate(g, donate=True)
 
     return Tensor._make(out, (x,), backward)
 

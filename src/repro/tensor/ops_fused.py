@@ -1,0 +1,168 @@
+"""Fused training kernels.
+
+:func:`fused_lstm_gates` collapses the LSTM/ConvLSTM gate tail — in
+the unfused form 4 slice nodes, 4 activation nodes, 3 multiplies, an
+add, and a tanh (13 graph nodes, each with its own closure and output
+allocation) — into two graph nodes:
+
+- a ``c_next`` node owning the packed activation buffer and the
+  i/f/g-gate gradients, and
+- an ``h_next`` node owning the output combination and the o-gate
+  gradient.
+
+The gate blocks are copied out of the packed ``(N, 4H, ...)`` buffer
+once (contiguous, so every activation ufunc runs at unit stride) and
+the backward writes all four gate gradients into **one** packed
+gradient buffer instead of four full-size scatter arrays, so a cell
+step builds 2 closures instead of 13 and skips the four zero-filled
+scatter buffers plus three full-size adds the slice nodes would pay.
+
+Numerics are *bit-identical* to the unfused path: every product in the
+forward and backward is evaluated with the same operand order and the
+same dtype promotions as the chain of elementwise autograd ops it
+replaces (pinned by ``tests/property/test_property_fused.py``).  Gate
+gradients are written directly into disjoint slices of the packed
+gate tensor's gradient buffer — no four full-size scatter arrays.
+
+Both kernels report to the profiler through
+:func:`repro.obs.profiler.op_span` like the conv primitives.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.obs.profiler import op_span
+from repro.tensor.pool import default_pool
+from repro.tensor.tensor import Tensor
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    """The same piecewise-stable logistic as :meth:`Tensor.sigmoid`,
+    kept expression-for-expression identical so fused and unfused
+    cells produce the same bits."""
+    positive = x >= 0
+    exp_neg_abs = np.exp(-np.abs(x))
+    return np.where(
+        positive, 1.0 / (1.0 + exp_neg_abs), exp_neg_abs / (1.0 + exp_neg_abs)
+    ).astype(x.dtype, copy=False)
+
+
+def fused_linear(x: Tensor, weight: Tensor, bias: Tensor | None = None) -> Tensor:
+    """Affine map ``x @ weight.T + bias`` as one autograd node.
+
+    The composed form (``matmul`` → per-call ``weight.T`` transpose →
+    broadcast add) builds four graph nodes and — crucially for
+    reproducibility — accumulates the weight gradient at the transpose
+    node's topo position, which depends on unrelated graph structure.
+    This op accumulates ``weight.grad`` inside its own backward (the
+    way :func:`~repro.tensor.ops_conv.conv2d` accumulates ``dw``), so
+    per-step contributions always arrive in reverse step order no
+    matter how the surrounding graph is shaped.
+    """
+    xd, wd = x.data, weight.data
+    with op_span("ops_fused.linear") as _op:
+        out = xd @ wd.T
+        if bias is not None:
+            out = out + bias.data
+        _op.set_bytes(out.nbytes)
+
+    def backward(grad):
+        with op_span("ops_fused.linear.backward"):
+            if x.requires_grad:
+                x._accumulate(grad @ wd, donate=True)
+            if weight.requires_grad:
+                if xd.ndim == 1:
+                    dw = np.outer(grad, xd)
+                else:
+                    g2 = grad.reshape(-1, grad.shape[-1])
+                    x2 = xd.reshape(-1, xd.shape[-1])
+                    dw = g2.T @ x2
+                weight._accumulate(dw, donate=True)
+            if bias is not None and bias.requires_grad:
+                if grad.ndim == 1:
+                    bias._accumulate(grad)
+                else:
+                    bias._accumulate(
+                        grad.sum(axis=tuple(range(grad.ndim - 1))), donate=True
+                    )
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+    return Tensor._make(out, parents, backward)
+
+
+def fused_lstm_gates(gates: Tensor, c: Tensor, hidden: int):
+    """Apply the LSTM gate equations to a packed gate tensor.
+
+    Parameters
+    ----------
+    gates:
+        Pre-activation gates packed along axis 1 in ``[i, f, g, o]``
+        order: ``(N, 4*hidden)`` for :class:`~repro.nn.recurrent.LSTMCell`
+        or ``(N, 4*hidden, H, W)`` for
+        :class:`~repro.nn.recurrent.ConvLSTMCell`.
+    c:
+        Previous cell state, shaped like one gate block.
+    hidden:
+        Gate block size along axis 1 (hidden units or channels).
+
+    Returns
+    -------
+    ``(h_next, c_next)`` tensors wired into the autograd graph.
+    """
+    a = gates.data
+    if a.shape[1] != 4 * hidden:
+        raise ValueError(
+            f"gate axis 1 is {a.shape[1]}, expected 4*hidden={4 * hidden}"
+        )
+    h1, h2, h3 = hidden, 2 * hidden, 3 * hidden
+    with op_span("ops_fused.lstm_gates") as _op:
+        # Contiguous per-gate copies (the unfused slice nodes make the
+        # same copies): every activation ufunc then runs at contiguous
+        # speed instead of striding over the packed buffer.
+        i = _sigmoid(np.ascontiguousarray(a[:, :h1]))
+        f = _sigmoid(np.ascontiguousarray(a[:, h1:h2]))
+        g = np.tanh(np.ascontiguousarray(a[:, h2:h3]))
+        o = _sigmoid(np.ascontiguousarray(a[:, h3:]))
+        c_data = f * c.data + i * g
+        t = np.tanh(c_data)
+        h_data = o * t
+        _op.set_bytes(4 * i.nbytes + c_data.nbytes + h_data.nbytes)
+
+    c_prev = c.data
+    # ``h_next``'s backward runs before ``c_next``'s (reverse topo), so
+    # the o-gate gradient is handed across through this cell and the
+    # c-gate backward emits all four blocks as ONE packed concatenate —
+    # no zero-filled scatter buffer, no strided read-modify-writes.
+    handoff: dict = {}
+
+    def backward_c(dcn):
+        with op_span("ops_fused.lstm_gates.backward"):
+            if gates.requires_grad:
+                # Same association order as the unfused mul/sigmoid/
+                # tanh closures: ((dcn * g) * i) * (1 - i) etc.
+                di = ((dcn * g) * i) * (1.0 - i)
+                df = ((dcn * c_prev) * f) * (1.0 - f)
+                dg = (dcn * i) * (1.0 - g**2)
+                do = handoff.pop("do", None)
+                if do is None:  # h_next never received a gradient
+                    do = np.zeros_like(o)
+                packed = np.concatenate((di, df, dg, do), axis=1)
+                gates._accumulate(packed, donate=True)
+                pool = default_pool()
+                for block in (di, df, dg, do):
+                    pool.release(block)
+            if c.requires_grad:
+                c._accumulate(dcn * f, donate=True)
+
+    c_next = Tensor._make(c_data, (gates, c), backward_c)
+
+    def backward_h(dh):
+        with op_span("ops_fused.lstm_gates.backward"):
+            if gates.requires_grad:
+                handoff["do"] = ((dh * t) * o) * (1.0 - o)
+            if c_next.requires_grad:
+                c_next._accumulate((dh * o) * (1.0 - t**2), donate=True)
+
+    h_next = Tensor._make(h_data, (gates, c_next), backward_h)
+    return h_next, c_next

@@ -1,0 +1,144 @@
+"""A small ``(shape, dtype)``-keyed arena for backward scratch buffers.
+
+CPU training in this engine is allocation-bound: every autograd op
+allocates fresh arrays, and the large ones (conv ``dxp`` scratch,
+pool masks, packed gate gradients) have exactly the same shape on
+every batch.  :class:`ArrayPool` recycles those arrays across steps:
+
+- :meth:`acquire` hands out a cached array for ``(shape, dtype)`` when
+  one is available (a *hit*), else allocates (a *miss*);
+- :meth:`release` returns an array to the pool — only arrays that own
+  their memory outright (no views, C-contiguous) are accepted, so a
+  pooled buffer can never alias live data;
+- the graph-freeing path of :meth:`Tensor.backward(free_graph=True)
+  <repro.tensor.tensor.Tensor.backward>` releases the gradients of
+  freed intermediates here, which is what closes the reuse loop:
+  batch N's gradient buffers become batch N+1's scratch.
+
+Hits and misses are counted into the process-wide metrics registry as
+``tensor.pool.hit`` / ``tensor.pool.miss`` (plus ``tensor.pool.reject``
+for arrays :meth:`release` refused), so ``obs.export.snapshot()`` and
+``BENCH_engine.json`` show whether the pool is working.
+
+The pool is bounded (``max_bytes`` total, ``max_per_key`` arrays per
+bucket); overflow releases are dropped on the floor and garbage
+collected as usual.  Access is process-wide through
+:func:`default_pool`; tests construct private instances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_counters = None  # lazy (hit, miss, reject) counter triple
+
+
+def _counter_triple():
+    global _counters
+    if _counters is None:
+        from repro import obs
+
+        _counters = (
+            obs.registry.counter("tensor.pool.hit"),
+            obs.registry.counter("tensor.pool.miss"),
+            obs.registry.counter("tensor.pool.reject"),
+        )
+    return _counters
+
+
+class ArrayPool:
+    """Bounded free-list of numpy arrays keyed by ``(shape, dtype)``."""
+
+    def __init__(self, max_bytes: int = 256 * 1024 * 1024, max_per_key: int = 32):
+        if max_bytes < 0 or max_per_key < 1:
+            raise ValueError("max_bytes must be >= 0 and max_per_key >= 1")
+        self.max_bytes = max_bytes
+        self.max_per_key = max_per_key
+        self.bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.rejects = 0
+        self._buckets: dict[tuple, list[np.ndarray]] = {}
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._buckets.values())
+
+    @staticmethod
+    def _key(shape, dtype) -> tuple:
+        return (tuple(shape), np.dtype(dtype).str)
+
+    def acquire(self, shape, dtype=np.float32, zero: bool = False) -> np.ndarray:
+        """Return an array of ``shape``/``dtype`` — recycled when the
+        pool has one, freshly allocated otherwise.  ``zero=True``
+        guarantees all-zero contents either way."""
+        hit, miss, _ = _counter_triple()
+        bucket = self._buckets.get(self._key(shape, dtype))
+        if bucket:
+            arr = bucket.pop()
+            self.bytes -= arr.nbytes
+            self.hits += 1
+            hit.inc()
+            if zero:
+                arr.fill(0)
+            return arr
+        self.misses += 1
+        miss.inc()
+        if zero:
+            return np.zeros(shape, dtype=dtype)
+        return np.empty(shape, dtype=dtype)
+
+    def release(self, arr) -> bool:
+        """Offer ``arr`` back to the pool.
+
+        Returns True when the array was pooled.  Anything that could
+        alias other live memory — views, non-owning wrappers,
+        non-contiguous layouts — is rejected, as is overflow beyond
+        the byte / per-key caps.
+        """
+        if (
+            not isinstance(arr, np.ndarray)
+            or arr.base is not None
+            or not arr.flags.owndata
+            or not arr.flags.c_contiguous
+            or arr.nbytes == 0
+        ):
+            self.rejects += 1
+            _counter_triple()[2].inc()
+            return False
+        if self.bytes + arr.nbytes > self.max_bytes:
+            self.rejects += 1
+            _counter_triple()[2].inc()
+            return False
+        bucket = self._buckets.setdefault(self._key(arr.shape, arr.dtype), [])
+        if len(bucket) >= self.max_per_key:
+            self.rejects += 1
+            _counter_triple()[2].inc()
+            return False
+        bucket.append(arr)
+        self.bytes += arr.nbytes
+        return True
+
+    def reset(self) -> None:
+        """Drop every cached array and zero the local statistics."""
+        self._buckets.clear()
+        self.bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.rejects = 0
+
+    def stats(self) -> dict:
+        return {
+            "arrays": len(self),
+            "bytes": self.bytes,
+            "hits": self.hits,
+            "misses": self.misses,
+            "rejects": self.rejects,
+        }
+
+
+_DEFAULT = ArrayPool()
+
+
+def default_pool() -> ArrayPool:
+    """The process-wide pool used by the autograd runtime."""
+    return _DEFAULT

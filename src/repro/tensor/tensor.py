@@ -16,7 +16,20 @@ from contextlib import contextmanager
 
 import numpy as np
 
+from repro.tensor.pool import default_pool
+
 _grad_enabled = True
+
+_freed_counter = None  # lazy obs counter for autograd.freed_bytes
+
+
+def _count_freed(nbytes: int) -> None:
+    global _freed_counter
+    if _freed_counter is None:
+        from repro import obs
+
+        _freed_counter = obs.registry.counter("autograd.freed_bytes")
+    _freed_counter.inc(nbytes)
 
 
 def is_grad_enabled() -> bool:
@@ -45,6 +58,19 @@ def _as_array(data, dtype=None) -> np.ndarray:
     if arr.dtype.kind in "ui" and arr.dtype != np.int64:
         return arr.astype(np.int64)
     return arr
+
+
+def _is_basic_key(key) -> bool:
+    """True when ``key`` is basic (non-fancy) numpy indexing: ints,
+    slices, Ellipsis, and newaxis — the kinds that can never address
+    the same element twice."""
+    items = key if isinstance(key, tuple) else (key,)
+    return all(
+        item is None
+        or item is Ellipsis
+        or isinstance(item, (int, np.integer, slice))
+        for item in items
+    )
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple) -> np.ndarray:
@@ -77,7 +103,7 @@ class Tensor:
         ``backward()`` will populate :attr:`grad`.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_prev")
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_prev", "_freed")
     __array_priority__ = 100  # numpy defers binary ops to Tensor
 
     def __init__(self, data, requires_grad: bool = False, dtype=None):
@@ -86,6 +112,7 @@ class Tensor:
         self.grad: np.ndarray | None = None
         self._backward = None
         self._prev: tuple = ()
+        self._freed = False
 
     # ------------------------------------------------------------------
     # Introspection
@@ -134,24 +161,94 @@ class Tensor:
     # ------------------------------------------------------------------
     # Autograd machinery
     # ------------------------------------------------------------------
-    def _accumulate(self, grad: np.ndarray) -> None:
-        if self.grad is None:
+    def _accumulate(self, grad: np.ndarray, donate: bool = False) -> None:
+        """Add ``grad`` into :attr:`grad`.
+
+        ``donate=True`` tells the accumulator the caller computed
+        ``grad`` fresh and will never touch it again: when this is the
+        first contribution (and dtype/ownership allow) the array is
+        adopted without the usual defensive copy, and when it cannot
+        be adopted it is offered to the buffer pool instead.
+        """
+        existing = self.grad
+        if existing is None:
+            if (
+                donate
+                and grad.dtype == self.data.dtype
+                and grad.base is None
+                and grad.flags.owndata
+            ):
+                self.grad = grad
+                return
             self.grad = grad.astype(self.data.dtype, copy=True)
         else:
-            self.grad += grad
+            existing += grad
+        if donate:
+            default_pool().release(grad)
 
     def zero_grad(self) -> None:
         """Clear any accumulated gradient."""
         self.grad = None
 
-    def backward(self, grad=None) -> None:
+    def _release(self) -> int:
+        """Free this intermediate's activation, gradient, and closure.
+
+        Called by the graph-freeing backward walk once the node's own
+        backward has run (every consumer already ran — reverse
+        topological order guarantees it).  The gradient buffer goes to
+        the array pool for reuse; the activation reference is dropped
+        so the array is garbage collected unless a view pins it.
+        Returns the number of bytes released for the
+        ``autograd.freed_bytes`` counter.
+        """
+        freed = 0
+        grad = self.grad
+        if grad is not None:
+            freed += grad.nbytes
+            # Pre-filter what the pool would reject anyway (views,
+            # non-contiguous buffers): this path runs for every freed
+            # node, so skipping the call + reject accounting matters.
+            if grad.base is None and grad.flags.c_contiguous and grad.nbytes:
+                default_pool().release(grad)
+            self.grad = None
+        data = self.data
+        if data is not None:
+            if data.base is None:
+                freed += data.nbytes
+            self.data = None
+        self._backward = None
+        self._prev = ()
+        self._freed = True
+        return freed
+
+    def backward(self, grad=None, free_graph: bool = False,
+                 retain_graph: bool | None = None) -> None:
         """Run reverse-mode autodiff from this tensor.
 
         ``grad`` defaults to ones for scalar outputs; non-scalar
         outputs require an explicit output gradient.
+
+        ``free_graph=True`` releases each intermediate's activation,
+        gradient, and backward closure as soon as its own backward has
+        run (its last consumer is guaranteed to have run already), so
+        peak activation memory falls *during* the backward pass instead
+        of when the whole graph goes out of scope.  Leaf tensors
+        (``requires_grad`` with no history) keep their gradients; the
+        tensor backward() was called on keeps its data.  A second
+        backward() through a freed graph raises ``RuntimeError`` —
+        pass ``retain_graph=True`` (or leave ``free_graph`` False, the
+        default) to keep today's reusable-graph semantics.
         """
+        if retain_graph is not None:
+            free_graph = not retain_graph
         if not self.requires_grad:
             raise RuntimeError("backward() on a tensor without requires_grad")
+        if self._freed:
+            raise RuntimeError(
+                "backward() through a graph that was already freed by "
+                "backward(free_graph=True); rerun the forward pass or "
+                "pass retain_graph=True to the first backward()"
+            )
         if grad is None:
             if self.data.size != 1:
                 raise RuntimeError(
@@ -177,6 +274,12 @@ class Tensor:
                 continue
             if id(node) in visited:
                 continue
+            if node._freed:
+                raise RuntimeError(
+                    "backward() reached a tensor freed by a previous "
+                    "backward(free_graph=True); rerun the forward pass "
+                    "or use retain_graph=True"
+                )
             visited.add(id(node))
             stack.append((node, True))
             for parent in node._prev:
@@ -184,9 +287,30 @@ class Tensor:
                     stack.append((parent, False))
 
         self._accumulate(grad)
+        if not free_graph:
+            for node in reversed(topo):
+                if node._backward is not None and node.grad is not None:
+                    node._backward(node.grad)
+            return
+
+        freed_bytes = 0
+        root = self
         for node in reversed(topo):
-            if node._backward is not None and node.grad is not None:
-                node._backward(node.grad)
+            if node._backward is not None:
+                if node.grad is not None:
+                    node._backward(node.grad)
+                if node is root:
+                    # The root stays readable (loss.item() after
+                    # backward) but its closure and parent links go,
+                    # so a second backward() fails loudly instead of
+                    # silently doing nothing.
+                    node._backward = None
+                    node._prev = ()
+                    node._freed = True
+                else:
+                    freed_bytes += node._release()
+        if freed_bytes:
+            _count_freed(freed_bytes)
 
     @staticmethod
     def _make(data: np.ndarray, parents: tuple, backward) -> "Tensor":
@@ -211,9 +335,11 @@ class Tensor:
 
         def backward(grad):
             if self.requires_grad:
-                self._accumulate(_unbroadcast(grad, self.shape))
+                g = _unbroadcast(grad, self.shape)
+                self._accumulate(g, donate=g is not grad)
             if other.requires_grad:
-                other._accumulate(_unbroadcast(grad, other.shape))
+                g = _unbroadcast(grad, other.shape)
+                other._accumulate(g, donate=g is not grad)
 
         return Tensor._make(data, (self, other), backward)
 
@@ -225,9 +351,10 @@ class Tensor:
 
         def backward(grad):
             if self.requires_grad:
-                self._accumulate(_unbroadcast(grad, self.shape))
+                g = _unbroadcast(grad, self.shape)
+                self._accumulate(g, donate=g is not grad)
             if other.requires_grad:
-                other._accumulate(_unbroadcast(-grad, other.shape))
+                other._accumulate(_unbroadcast(-grad, other.shape), donate=True)
 
         return Tensor._make(data, (self, other), backward)
 
@@ -240,9 +367,13 @@ class Tensor:
 
         def backward(grad):
             if self.requires_grad:
-                self._accumulate(_unbroadcast(grad * other.data, self.shape))
+                self._accumulate(
+                    _unbroadcast(grad * other.data, self.shape), donate=True
+                )
             if other.requires_grad:
-                other._accumulate(_unbroadcast(grad * self.data, other.shape))
+                other._accumulate(
+                    _unbroadcast(grad * self.data, other.shape), donate=True
+                )
 
         return Tensor._make(data, (self, other), backward)
 
@@ -254,10 +385,13 @@ class Tensor:
 
         def backward(grad):
             if self.requires_grad:
-                self._accumulate(_unbroadcast(grad / other.data, self.shape))
+                self._accumulate(
+                    _unbroadcast(grad / other.data, self.shape), donate=True
+                )
             if other.requires_grad:
                 other._accumulate(
-                    _unbroadcast(-grad * self.data / other.data**2, other.shape)
+                    _unbroadcast(-grad * self.data / other.data**2, other.shape),
+                    donate=True,
                 )
 
         return Tensor._make(data, (self, other), backward)
@@ -267,7 +401,7 @@ class Tensor:
 
     def __neg__(self):
         def backward(grad):
-            self._accumulate(-grad)
+            self._accumulate(-grad, donate=True)
 
         return Tensor._make(-self.data, (self,), backward)
 
@@ -277,7 +411,9 @@ class Tensor:
         data = self.data**exponent
 
         def backward(grad):
-            self._accumulate(grad * exponent * self.data ** (exponent - 1))
+            self._accumulate(
+                grad * exponent * self.data ** (exponent - 1), donate=True
+            )
 
         return Tensor._make(data, (self,), backward)
 
@@ -329,7 +465,7 @@ class Tensor:
         data = np.exp(self.data)
 
         def backward(grad):
-            self._accumulate(grad * data)
+            self._accumulate(grad * data, donate=True)
 
         return Tensor._make(data, (self,), backward)
 
@@ -337,7 +473,7 @@ class Tensor:
         data = np.log(self.data)
 
         def backward(grad):
-            self._accumulate(grad / self.data)
+            self._accumulate(grad / self.data, donate=True)
 
         return Tensor._make(data, (self,), backward)
 
@@ -345,7 +481,7 @@ class Tensor:
         data = np.sqrt(self.data)
 
         def backward(grad):
-            self._accumulate(grad * 0.5 / np.maximum(data, 1e-12))
+            self._accumulate(grad * 0.5 / np.maximum(data, 1e-12), donate=True)
 
         return Tensor._make(data, (self,), backward)
 
@@ -353,7 +489,7 @@ class Tensor:
         data = np.abs(self.data)
 
         def backward(grad):
-            self._accumulate(grad * np.sign(self.data))
+            self._accumulate(grad * np.sign(self.data), donate=True)
 
         return Tensor._make(data, (self,), backward)
 
@@ -361,7 +497,7 @@ class Tensor:
         data = np.tanh(self.data)
 
         def backward(grad):
-            self._accumulate(grad * (1.0 - data**2))
+            self._accumulate(grad * (1.0 - data**2), donate=True)
 
         return Tensor._make(data, (self,), backward)
 
@@ -376,7 +512,7 @@ class Tensor:
         ).astype(x.dtype, copy=False)
 
         def backward(grad):
-            self._accumulate(grad * data * (1.0 - data))
+            self._accumulate(grad * data * (1.0 - data), donate=True)
 
         return Tensor._make(data, (self,), backward)
 
@@ -385,7 +521,7 @@ class Tensor:
         data = self.data * mask
 
         def backward(grad):
-            self._accumulate(grad * mask)
+            self._accumulate(grad * mask, donate=True)
 
         return Tensor._make(data, (self,), backward)
 
@@ -394,7 +530,7 @@ class Tensor:
         mask = (self.data >= low) & (self.data <= high)
 
         def backward(grad):
-            self._accumulate(grad * mask)
+            self._accumulate(grad * mask, donate=True)
 
         return Tensor._make(data, (self,), backward)
 
@@ -408,7 +544,7 @@ class Tensor:
             g = grad
             if axis is not None and not keepdims:
                 g = np.expand_dims(g, axis)
-            self._accumulate(np.broadcast_to(g, self.shape).copy())
+            self._accumulate(np.broadcast_to(g, self.shape).copy(), donate=True)
 
         return Tensor._make(data, (self,), backward)
 
@@ -437,7 +573,7 @@ class Tensor:
                 d = np.expand_dims(d, axis)
             mask = self.data == d
             counts = mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
-            self._accumulate(mask * g / counts)
+            self._accumulate(mask * g / counts, donate=True)
 
         return Tensor._make(data, (self,), backward)
 
@@ -504,11 +640,19 @@ class Tensor:
         if isinstance(key, Tensor):
             key = key.data
         data = self.data[key]
+        shape, dtype = self.data.shape, self.data.dtype
+        basic = _is_basic_key(key)
 
         def backward(grad):
-            full = np.zeros_like(self.data)
-            np.add.at(full, key, grad)
-            self._accumulate(full)
+            full = default_pool().acquire(shape, dtype, zero=True)
+            if basic:
+                # Basic (slice/int) indexing never selects an element
+                # twice, so a direct strided assignment replaces the
+                # much slower np.add.at scatter.
+                full[key] = grad
+            else:
+                np.add.at(full, key, grad)
+            self._accumulate(full, donate=True)
 
         return Tensor._make(data, (self,), backward)
 
@@ -611,8 +755,10 @@ def where(condition, a, b) -> Tensor:
 
     def backward(grad):
         if a.requires_grad:
-            a._accumulate(_unbroadcast(grad * cond, a.shape))
+            a._accumulate(_unbroadcast(grad * cond, a.shape), donate=True)
         if b.requires_grad:
-            b._accumulate(_unbroadcast(grad * np.logical_not(cond), b.shape))
+            b._accumulate(
+                _unbroadcast(grad * np.logical_not(cond), b.shape), donate=True
+            )
 
     return Tensor._make(data, (a, b), backward)

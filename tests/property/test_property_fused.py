@@ -1,0 +1,193 @@
+"""Property-based tests: every fused fast path — graph-freeing
+backward, fused LSTM/ConvLSTM gate kernels, flat-buffer Adam/SGD —
+produces *bit-identical* parameters to the reference implementation it
+replaces, for arbitrary shapes, seeds, and hyperparameters."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import functional as F
+from repro.nn.recurrent import ConvLSTMCell, LSTMCell
+from repro.optim.adam import Adam
+from repro.optim.sgd import SGD
+from repro.tensor import Tensor
+
+
+def _params_equal(a, b):
+    return all(np.array_equal(x.data, y.data) for x, y in zip(a, b))
+
+
+def _grads_equal(a, b):
+    return all(
+        (x.grad is None and y.grad is None) or np.array_equal(x.grad, y.grad)
+        for x, y in zip(a, b)
+    )
+
+
+# ----------------------------------------------------------------------
+# free_graph training == retained-graph training
+# ----------------------------------------------------------------------
+@settings(max_examples=20, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=6),   # batch
+    st.integers(min_value=1, max_value=8),   # features
+    st.integers(min_value=1, max_value=5),   # steps
+    st.integers(min_value=0, max_value=9999),
+)
+def test_free_graph_training_is_bit_identical(batch, feat, steps, seed):
+    def train(free):
+        cell = LSTMCell(feat, 4, rng=np.random.default_rng(seed))
+        opt = Adam(list(cell.parameters()), lr=1e-2)
+        rng = np.random.default_rng(seed + 1)
+        for _ in range(steps):
+            x = Tensor(rng.standard_normal((batch, feat)).astype(np.float32))
+            y = Tensor(rng.standard_normal((batch, 4)).astype(np.float32))
+            opt.zero_grad()
+            out, _ = cell(x)
+            F.mse_loss(out, y).backward(free_graph=free)
+            opt.step()
+        return list(cell.parameters())
+
+    assert _params_equal(train(True), train(False))
+
+
+# ----------------------------------------------------------------------
+# fused gate kernels == unfused elementwise chains
+# ----------------------------------------------------------------------
+@settings(max_examples=20, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=5),   # batch
+    st.integers(min_value=1, max_value=6),   # input size
+    st.integers(min_value=1, max_value=6),   # hidden size
+    st.integers(min_value=1, max_value=4),   # timesteps
+    st.integers(min_value=0, max_value=9999),
+)
+def test_fused_lstm_cell_is_bit_identical(batch, nin, hidden, steps, seed):
+    def run(fused):
+        cell = LSTMCell(nin, hidden, rng=np.random.default_rng(seed),
+                        fused=fused)
+        rng = np.random.default_rng(seed + 1)
+        state = None
+        loss = None
+        for _ in range(steps):
+            x = Tensor(rng.standard_normal((batch, nin)).astype(np.float32))
+            out, state = cell(x, state)
+            term = (out * out).sum()
+            loss = term if loss is None else loss + term
+        loss.backward()
+        return out.data.copy(), list(cell.parameters())
+
+    out_f, params_f = run(True)
+    out_u, params_u = run(False)
+    assert np.array_equal(out_f, out_u)
+    assert _grads_equal(params_f, params_u)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=3),   # batch
+    st.integers(min_value=1, max_value=3),   # in channels
+    st.integers(min_value=1, max_value=3),   # hidden channels
+    st.integers(min_value=2, max_value=5),   # spatial size
+    st.integers(min_value=1, max_value=3),   # timesteps
+    st.integers(min_value=0, max_value=9999),
+)
+def test_fused_convlstm_cell_is_bit_identical(batch, cin, hid, size, steps,
+                                              seed):
+    def run(fused):
+        cell = ConvLSTMCell(cin, hid, 3, rng=np.random.default_rng(seed),
+                            fused=fused)
+        rng = np.random.default_rng(seed + 1)
+        state = None
+        loss = None
+        for _ in range(steps):
+            x = Tensor(
+                rng.standard_normal((batch, cin, size, size)).astype(np.float32)
+            )
+            out, state = cell(x, state)
+            term = (out * out).sum()
+            loss = term if loss is None else loss + term
+        loss.backward()
+        return out.data.copy(), list(cell.parameters())
+
+    out_f, params_f = run(True)
+    out_u, params_u = run(False)
+    assert np.array_equal(out_f, out_u)
+    assert _grads_equal(params_f, params_u)
+
+
+# ----------------------------------------------------------------------
+# flat-buffer optimizers == reference per-parameter loops
+# ----------------------------------------------------------------------
+@st.composite
+def optimizer_cases(draw):
+    shapes = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=5),
+                st.integers(min_value=1, max_value=5),
+            ),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    steps = draw(st.integers(min_value=1, max_value=10))
+    seed = draw(st.integers(min_value=0, max_value=9999))
+    weight_decay = draw(st.sampled_from([0.0, 0.01]))
+    drop_grads = draw(st.booleans())
+    return shapes, steps, seed, weight_decay, drop_grads
+
+
+def _train_params(opt_factory, shapes, steps, seed, drop_grads):
+    rng = np.random.default_rng(seed)
+    params = [
+        Tensor(rng.standard_normal(s).astype(np.float32), requires_grad=True)
+        for s in shapes
+    ]
+    opt = opt_factory(params)
+    grad_rng = np.random.default_rng(seed + 1)
+    for step in range(steps):
+        opt.zero_grad()
+        for i, p in enumerate(params):
+            if drop_grads and (step + i) % 3 == 0:
+                continue  # reference path skips grad-less params
+            p._accumulate(
+                grad_rng.standard_normal(p.data.shape).astype(np.float32)
+            )
+        opt.step()
+    return [p.data.copy() for p in params]
+
+
+@settings(max_examples=20, deadline=None)
+@given(optimizer_cases())
+def test_flat_adam_is_bit_identical(case):
+    shapes, steps, seed, wd, drop = case
+    fused = _train_params(
+        lambda ps: Adam(ps, lr=1e-2, weight_decay=wd, fused=True),
+        shapes, steps, seed, drop,
+    )
+    ref = _train_params(
+        lambda ps: Adam(ps, lr=1e-2, weight_decay=wd, fused=False),
+        shapes, steps, seed, drop,
+    )
+    for a, b in zip(fused, ref):
+        assert np.array_equal(a, b)
+
+
+@settings(max_examples=20, deadline=None)
+@given(optimizer_cases(), st.sampled_from([0.0, 0.9]))
+def test_flat_sgd_is_bit_identical(case, momentum):
+    shapes, steps, seed, wd, drop = case
+    fused = _train_params(
+        lambda ps: SGD(ps, lr=0.05, momentum=momentum, weight_decay=wd,
+                       fused=True),
+        shapes, steps, seed, drop,
+    )
+    ref = _train_params(
+        lambda ps: SGD(ps, lr=0.05, momentum=momentum, weight_decay=wd,
+                       fused=False),
+        shapes, steps, seed, drop,
+    )
+    for a, b in zip(fused, ref):
+        assert np.array_equal(a, b)

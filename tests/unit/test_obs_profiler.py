@@ -287,8 +287,9 @@ Sequential.3                       GlobalAvgPool2d             1      #.###     
 Sequential.4                       Linear                      1      #.###      #.###             60         36           48
 ops_conv.conv2d                    ops_conv.conv2d             1      #.###      #.###              0          0         2048
 ops_conv.max_pool2d                ops_conv.max_pool2d         1      #.###      #.###              0          0          512
+ops_fused.linear                   ops_fused.linear            1      #.###      #.###              0          0           48
 -----------------------------------------------------------------------------------------------------------------------------
-total FLOPs 10820 · param bytes 116 · rows 8"""
+total FLOPs 10820 · param bytes 116 · rows 9"""
 
 
 def mask_times(table: str) -> str:
@@ -311,9 +312,13 @@ class TestKeyAverages:
             layer(x)
             layer(x)
             layer(x)
-        (row,) = prof.key_averages().rows
+        rows = prof.key_averages().rows
+        (row,) = [r for r in rows if r["op_type"] == "Linear"]
         assert row["calls"] == 3
         assert row["param_bytes"] == (3 * 3 + 3) * 4  # once, not 3x
+        # The fused-linear kernel span rides along, one per call.
+        (op_row,) = [r for r in rows if r["op_type"] == "ops_fused.linear"]
+        assert op_row["calls"] == 3
 
     def test_group_by_op_type_merges_instances(self):
         model = nn.Sequential(nn.Linear(3, 3, rng=0), nn.Linear(3, 3, rng=1))
