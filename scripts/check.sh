@@ -1,15 +1,27 @@
 #!/usr/bin/env bash
-# Repo health check, four gates:
-#   1. tier-1: the full test suite (what the roadmap pins)
-#   2. fast lane: unit tests minus anything marked slow
-#   3. bench smoke: benchmarks/run_quick.py runs to completion and
+# Repo health check, five gates:
+#   1. lint: ruff check (config in pyproject.toml); skipped with a
+#      note when ruff is not installed in the environment
+#   2. tier-1: the full test suite (what the roadmap pins)
+#   3. fast lane: unit tests minus anything marked slow
+#   4. bench smoke: benchmarks/run_quick.py runs to completion and
 #      regenerates BENCH_engine.json (incl. per-operator breakdown)
-#   4. bench diff: the fresh BENCH_engine.json must not regress the
+#   5. bench diff: the fresh BENCH_engine.json must not regress the
 #      watched keys (obs overhead, join speedup, ConvLSTM epoch time,
-#      peak activation bytes) >25% vs the committed one
+#      peak activation bytes, compiled-stage speedup, 2-thread morsel
+#      scaling) >25% vs the committed one
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== lint: ruff check =="
+if command -v ruff >/dev/null 2>&1; then
+    ruff check src tests benchmarks scripts
+elif python -c "import ruff" >/dev/null 2>&1; then
+    python -m ruff check src tests benchmarks scripts
+else
+    echo "ruff not installed; skipping lint gate (pip install ruff to enable)"
+fi
 
 echo "== tier-1: full suite =="
 python -m pytest -x -q

@@ -14,6 +14,11 @@ regenerating BENCH_engine.json):
   higher is worse.
 - ``peak_activation_bytes`` — tracemalloc peak of the graph-freeing
   ConvLSTM epoch; higher is worse.
+- ``expr_pipeline_speedup`` — compiled expression stage vs the
+  tree-walking interpreter; lower is worse.
+- ``parallel_scaling_2t`` — serial over 2-thread morsel wall time;
+  lower is worse.  (Bounded by the host's core count — ~1.0 on a
+  single-core runner; the committed baseline is what the gate holds.)
 
 A key regresses when it moves more than ``TOLERANCE`` (25%) in its bad
 direction.  Missing keys in the baseline (older file layouts) are
@@ -34,6 +39,8 @@ WATCHED = {
     "join_speedup": "higher",
     "epoch_time_convlstm_s": "lower",
     "peak_activation_bytes": "lower",
+    "expr_pipeline_speedup": "higher",
+    "parallel_scaling_2t": "higher",
 }
 
 

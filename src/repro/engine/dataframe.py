@@ -22,6 +22,7 @@ class DataFrame:
     def __init__(self, session, plan_node: P.PlanNode):
         self.session = session
         self.plan = plan_node
+        self._plan_cache: dict = {}
 
     # ------------------------------------------------------------------
     # Introspection
@@ -38,17 +39,23 @@ class DataFrame:
         the plan after the rule-based optimizer has rewritten it.
 
         With ``analyze=True``, *execute* the plan (as the session
-        would run it, optimizer included) and render the executed tree
-        annotated with live per-operator statistics — rows in/out,
-        partitions, cumulative wall time, and the largest partition
-        each operator emitted (Spark's ``EXPLAIN ANALYZE``)."""
+        would run it, optimizer and stage compiler included) and
+        render the executed tree annotated with live per-operator
+        statistics — rows in/out, partitions, cumulative wall time,
+        the largest partition each operator emitted, and for compiled
+        stages the pure compute time and rows/sec (Spark's ``EXPLAIN
+        ANALYZE``)."""
         if analyze:
             from repro.obs import PlanStats
 
             plan = self._execution_plan()
             stats = PlanStats()
             for _ in iter_partitions(
-                plan, meter=self.session.meter, stats=stats
+                plan,
+                meter=self.session.meter,
+                stats=stats,
+                parallelism=self.session.parallelism,
+                queue_depth=self.session.queue_depth,
             ):
                 pass
             stats.flush_to_registry(plan)
@@ -61,7 +68,9 @@ class DataFrame:
             "== Logical Plan ==\n"
             + self.plan.describe()
             + "\n== Optimized Plan ==\n"
-            + _optimize(self.plan).describe()
+            + _optimize(
+                self.plan, stages=getattr(self.session, "compile", True)
+            ).describe()
         )
 
     def __repr__(self):
@@ -142,15 +151,29 @@ class DataFrame:
     # Actions (eager)
     # ------------------------------------------------------------------
     def _execution_plan(self, optimize: bool | None = None) -> P.PlanNode:
-        """The plan actually executed: optimized unless turned off on
-        the call or (by default) on the session."""
+        """The plan actually executed: optimized (and narrow chains
+        collapsed into compiled stages, unless ``Session(compile=
+        False)``) — or exactly as written when optimization is turned
+        off on the call or the session.
+
+        The optimized plan is memoized per DataFrame: plans are
+        immutable, and reusing the same physical tree across actions
+        keeps compiled-stage state (dtype records, scratch pools,
+        literal caches) warm for repeated executions such as
+        per-epoch iteration."""
         if optimize is None:
             optimize = getattr(self.session, "optimize", True)
         if not optimize:
             return self.plan
-        from repro.engine.optimizer import optimize as _optimize
+        stages = getattr(self.session, "compile", True)
+        plan = self._plan_cache.get(stages)
+        if plan is None:
+            from repro.engine.optimizer import optimize as _optimize
 
-        return _optimize(self.plan)
+            plan = self._plan_cache[stages] = _optimize(
+                self.plan, stages=stages
+            )
+        return plan
 
     def iter_partitions(self, optimize: bool | None = None):
         """Stream result partitions (the out-of-core access path used
@@ -166,7 +189,12 @@ class DataFrame:
 
         plan = self._execution_plan(optimize)
         if not obs.enabled():
-            return iter_partitions(plan, meter=self.session.meter)
+            return iter_partitions(
+                plan,
+                meter=self.session.meter,
+                parallelism=self.session.parallelism,
+                queue_depth=self.session.queue_depth,
+            )
         return self._observed_partitions(plan)
 
     def _observed_partitions(self, plan: P.PlanNode):
@@ -177,7 +205,11 @@ class DataFrame:
         self.session.last_plan = plan
         try:
             yield from iter_partitions(
-                plan, meter=self.session.meter, stats=stats
+                plan,
+                meter=self.session.meter,
+                stats=stats,
+                parallelism=self.session.parallelism,
+                queue_depth=self.session.queue_depth,
             )
         finally:
             # Flush even when the consumer stops early (limit / take):
@@ -200,7 +232,7 @@ class DataFrame:
 
     def to_columns(self) -> dict:
         """Materialize the result as {name: full numpy array}."""
-        parts = [p for p in self.iter_partitions() if p.num_rows > 0]
+        parts = list(self.iter_partitions())
         if not parts:
             return {name: np.empty(0) for name in self.columns}
         whole = Partition.concat(parts)

@@ -20,9 +20,24 @@ A :class:`~repro.utils.memory.MemoryMeter` passed via ``meter``
 observes exactly these allocations, which is how the Figure 8 bench
 measures the engine's peak working set (and how an artificial memory
 cap can make it fail, for symmetry with the baseline's OOM).
+
+**Morsel-parallel mode** (``parallelism > 1``): compiled stages
+(:class:`~repro.engine.plan.CompiledStage`) fan their per-partition
+work out over a bounded ``ThreadPoolExecutor`` — numpy ufuncs release
+the GIL, so stage compute runs concurrently while the driver thread
+keeps pulling child partitions.  Results flow through an *ordered*
+bounded prefetch window (``queue_depth`` in-flight partitions), so
+output order is deterministic, bit-identical to serial execution, and
+the out-of-core guarantee degrades gracefully to
+O(parallelism + queue_depth) resident partitions.  All other
+operators, and all metering, stay on the driver thread — worker
+threads only ever run pure per-partition compute.
 """
 
 from __future__ import annotations
+
+import time
+from collections import deque
 
 import numpy as np
 
@@ -31,7 +46,52 @@ from repro.engine.aggregates import _State, partial_aggregate
 from repro.engine.partition import Partition
 
 
-def iter_partitions(node: P.PlanNode, meter=None, stats=None):
+class _ExecContext:
+    """Per-execution state threaded through the operator tree: the
+    memory meter, the PlanStats observer, and the (lazily created)
+    morsel thread pool."""
+
+    __slots__ = ("meter", "stats", "parallelism", "queue_depth", "_pool")
+
+    def __init__(self, meter, stats, parallelism, queue_depth):
+        self.meter = meter
+        self.stats = stats
+        self.parallelism = max(1, int(parallelism))
+        self.queue_depth = (
+            max(1, int(queue_depth))
+            if queue_depth is not None
+            else 2 * self.parallelism
+        )
+        self._pool = None
+
+    def iterate(self, node: P.PlanNode):
+        if self.stats is None:
+            return _iter_node(node, self)
+        return self.stats.observe(node, _iter_node(node, self))
+
+    def pool(self):
+        if self._pool is None:
+            from concurrent.futures import ThreadPoolExecutor
+
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.parallelism,
+                thread_name_prefix="repro-morsel",
+            )
+        return self._pool
+
+    def close(self):
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+
+
+def iter_partitions(
+    node: P.PlanNode,
+    meter=None,
+    stats=None,
+    parallelism: int = 1,
+    queue_depth: int | None = None,
+):
     """Yield the partitions produced by a plan node.
 
     ``stats`` (a :class:`repro.obs.PlanStats`) meters every operator
@@ -41,61 +101,131 @@ def iter_partitions(node: P.PlanNode, meter=None, stats=None):
     path.  Metering only observes pulled partitions; it never touches
     their contents, so traced results are bit-identical to untraced
     ones.
+
+    ``parallelism`` > 1 enables morsel-parallel execution of compiled
+    stages over a thread pool with an ordered prefetch window of
+    ``queue_depth`` (default ``2 * parallelism``) in-flight
+    partitions; results are identical to serial execution.
     """
-    if stats is None:
-        return _iter_node(node, meter, None)
-    return stats.observe(node, _iter_node(node, meter, stats))
+    ctx = _ExecContext(meter, stats, parallelism, queue_depth)
+    if ctx.parallelism <= 1:
+        return ctx.iterate(node)
+    return _iterate_closing(node, ctx)
 
 
-def _iter_node(node: P.PlanNode, meter, stats):
+def _iterate_closing(node: P.PlanNode, ctx: _ExecContext):
+    """Parallel top-level entry: guarantee the worker pool dies with
+    the generator, even when the consumer stops early."""
+    try:
+        yield from ctx.iterate(node)
+    finally:
+        ctx.close()
+
+
+def _iter_node(node: P.PlanNode, ctx: _ExecContext):
     if isinstance(node, P.Source):
-        yield from _run_source(node, meter)
+        yield from _run_source(node, ctx)
+    elif isinstance(node, P.CompiledStage):
+        yield from _run_compiled_stage(node, ctx)
     elif isinstance(node, P.Project):
-        for part in iter_partitions(node.child, meter, stats):
+        for part in ctx.iterate(node.child):
             yield Partition(
                 {name: expr.evaluate(part) for name, expr in node.exprs}
             )
     elif isinstance(node, P.Filter):
-        for part in iter_partitions(node.child, meter, stats):
+        for part in ctx.iterate(node.child):
             keep = np.asarray(node.predicate.evaluate(part), dtype=bool)
-            yield part.mask(keep)
+            if keep.all():
+                # All rows survive: pass the partition through as-is
+                # instead of copying every column through mask().
+                yield part
+            else:
+                yield part.mask(keep)
     elif isinstance(node, P.WithColumn):
-        for part in iter_partitions(node.child, meter, stats):
+        for part in ctx.iterate(node.child):
             yield part.with_column(node.name, node.expr.evaluate(part))
     elif isinstance(node, P.WithColumns):
-        for part in iter_partitions(node.child, meter, stats):
+        for part in ctx.iterate(node.child):
             for name, expr in node.items:
                 part = part.with_column(name, expr.evaluate(part))
             yield part
     elif isinstance(node, P.Drop):
-        for part in iter_partitions(node.child, meter, stats):
+        for part in ctx.iterate(node.child):
             yield part.drop(node.names)
     elif isinstance(node, P.Union):
         for child in node.inputs:
-            yield from iter_partitions(child, meter, stats)
+            yield from ctx.iterate(child)
     elif isinstance(node, P.Limit):
-        yield from _run_limit(node, meter, stats)
+        yield from _run_limit(node, ctx)
     elif isinstance(node, P.MapPartitions):
-        for part in iter_partitions(node.child, meter, stats):
+        for part in ctx.iterate(node.child):
             yield node.fn(part)
     elif isinstance(node, P.GroupByAgg):
-        yield from _run_group_by(node, meter, stats)
+        yield from _run_group_by(node, ctx)
     elif isinstance(node, P.Join):
-        yield from _run_join(node, meter, stats)
+        yield from _run_join(node, ctx)
     elif isinstance(node, P.OrderBy):
-        yield from _run_order_by(node, meter, stats)
+        yield from _run_order_by(node, ctx)
     elif isinstance(node, P.Repartition):
-        yield from _run_repartition(node, meter, stats)
+        yield from _run_repartition(node, ctx)
     elif isinstance(node, P.Cache):
-        yield from _run_cache(node, meter, stats)
+        yield from _run_cache(node, ctx)
     else:
         raise TypeError(f"unknown plan node {type(node).__name__}")
 
 
-def _run_cache(node: P.Cache, meter, stats=None):
+def _run_compiled_stage(node: P.CompiledStage, ctx: _ExecContext):
+    from repro.engine.compile import stage_runner
+
+    runner = stage_runner(node)
+    stats = ctx.stats
+    if stats is None:
+        apply = runner
+    else:
+        # Record pure compute time (excluding child pulls and queue
+        # waits) so explain(analyze=True) can report per-stage
+        # rows/sec.  add_work is thread-safe: in parallel mode this
+        # runs on worker threads.
+        perf_counter = time.perf_counter
+
+        def apply(part, _runner=runner):
+            started = perf_counter()
+            out = _runner(part)
+            stats.add_work(node, perf_counter() - started)
+            return out
+
+    parts = ctx.iterate(node.child)
+    if ctx.parallelism > 1:
+        yield from _morsel_map(apply, parts, ctx)
+    else:
+        for part in parts:
+            yield apply(part)
+
+
+def _morsel_map(fn, parts, ctx: _ExecContext):
+    """Ordered, bounded fan-out: submit up to ``queue_depth`` morsels,
+    yield strictly in submission order.  FIFO completion keeps results
+    bit-identical to serial execution; the bound keeps at most
+    O(parallelism + queue_depth) partitions resident."""
+    pool = ctx.pool()
+    pending: deque = deque()
+    try:
+        for part in parts:
+            pending.append(pool.submit(fn, part))
+            if len(pending) >= ctx.queue_depth:
+                yield pending.popleft().result()
+        while pending:
+            yield pending.popleft().result()
+    finally:
+        for future in pending:
+            future.cancel()
+
+
+def _run_cache(node: P.Cache, ctx: _ExecContext):
+    meter = ctx.meter
     if node.materialized is None:
         materialized = []
-        for part in iter_partitions(node.child, meter, stats):
+        for part in ctx.iterate(node.child):
             if meter is not None:
                 meter.allocate(part.nbytes)  # stays resident (no release)
             materialized.append(part)
@@ -103,7 +233,8 @@ def _run_cache(node: P.Cache, meter, stats=None):
     yield from node.materialized
 
 
-def _run_source(node: P.Source, meter):
+def _run_source(node: P.Source, ctx: _ExecContext):
+    meter = ctx.meter
     for factory in node.partition_factories:
         part = factory()
         nbytes = part.nbytes
@@ -116,9 +247,9 @@ def _run_source(node: P.Source, meter):
                 meter.release(nbytes)
 
 
-def _run_limit(node: P.Limit, meter, stats=None):
+def _run_limit(node: P.Limit, ctx: _ExecContext):
     remaining = node.n
-    for part in iter_partitions(node.child, meter, stats):
+    for part in ctx.iterate(node.child):
         if remaining <= 0:
             return
         if part.num_rows <= remaining:
@@ -275,7 +406,8 @@ def _empty_group_partition(keys, specs) -> Partition:
     return Partition(cols)
 
 
-def _run_group_by(node: P.GroupByAgg, meter, stats=None):
+def _run_group_by(node: P.GroupByAgg, ctx: _ExecContext):
+    meter = ctx.meter
     keys = node.keys
     specs = node.aggs
     array_state = _ArrayGroupState(specs)
@@ -283,7 +415,7 @@ def _run_group_by(node: P.GroupByAgg, meter, stats=None):
     key_dtypes = None
     state_nbytes = 0
 
-    for part in iter_partitions(node.child, meter, stats):
+    for part in ctx.iterate(node.child):
         if part.num_rows == 0:
             if key_dtypes is None and all(k in part.columns for k in keys):
                 key_dtypes = [part.columns[k].dtype for k in keys]
@@ -563,10 +695,11 @@ def _null_fill(dtype: np.dtype, n: int) -> np.ndarray:
     return out
 
 
-def _run_join(node: P.Join, meter, stats=None):
+def _run_join(node: P.Join, ctx: _ExecContext):
+    meter = ctx.meter
     # Build side: fully materialize the right input (broadcast join).
     right_parts = [
-        p for p in iter_partitions(node.right, meter, stats) if p.num_rows > 0
+        p for p in ctx.iterate(node.right) if p.num_rows > 0
     ]
     build_nbytes = sum(p.nbytes for p in right_parts)
     if meter is not None:
@@ -586,7 +719,7 @@ def _run_join(node: P.Join, meter, stats=None):
                 meter.allocate(probe_nbytes)
         promote = node.how == "left"
 
-        for part in iter_partitions(node.left, meter, stats):
+        for part in ctx.iterate(node.left):
             if part.num_rows == 0:
                 continue
             if build is None:
@@ -624,10 +757,11 @@ def _run_join(node: P.Join, meter, stats=None):
             meter.release(build_nbytes + probe_nbytes)
 
 
-def _run_order_by(node: P.OrderBy, meter, stats=None):
-    parts = [
-        p for p in iter_partitions(node.child, meter, stats) if p.num_rows > 0
-    ]
+def _run_order_by(node: P.OrderBy, ctx: _ExecContext):
+    meter = ctx.meter
+    # Partition.concat handles all-empty inputs (schema-preserving
+    # empty result), so no non-empty filtering is needed here.
+    parts = list(ctx.iterate(node.child))
     if not parts:
         return
     whole = Partition.concat(parts)
@@ -646,10 +780,9 @@ def _run_order_by(node: P.OrderBy, meter, stats=None):
             meter.release(whole.nbytes)
 
 
-def _run_repartition(node: P.Repartition, meter, stats=None):
-    parts = [
-        p for p in iter_partitions(node.child, meter, stats) if p.num_rows > 0
-    ]
+def _run_repartition(node: P.Repartition, ctx: _ExecContext):
+    meter = ctx.meter
+    parts = list(ctx.iterate(node.child))
     if not parts:
         return
     whole = Partition.concat(parts)
@@ -709,4 +842,17 @@ def plan_column_names(node: P.PlanNode) -> list[str]:
         return plan_column_names(node.child)  # best effort
     if isinstance(node, P.Cache):
         return plan_column_names(node.child)
+    if isinstance(node, P.CompiledStage):
+        names = plan_column_names(node.child)
+        for kind, payload in node.steps:
+            if kind == "project":
+                names = [name for name, _ in payload]
+            elif kind == "with_columns":
+                for name, _ in payload:
+                    if name not in names:
+                        names = names + [name]
+            elif kind == "drop":
+                dropped = set(payload)
+                names = [n for n in names if n not in dropped]
+        return names
     raise TypeError(f"unknown plan node {type(node).__name__}")

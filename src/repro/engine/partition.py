@@ -44,6 +44,16 @@ class Partition:
             {f.name: np.empty(0, dtype=f.dtype) for f in schema.fields}
         )
 
+    @classmethod
+    def _from_arrays(cls, columns: dict, num_rows: int) -> "Partition":
+        """Wrap already-validated numpy arrays without re-checking
+        lengths (hot path: the compiled stage runner builds every
+        output partition through here)."""
+        part = cls.__new__(cls)
+        part.columns = columns
+        part.num_rows = num_rows
+        return part
+
     @property
     def nbytes(self) -> int:
         """Approximate bytes held by this partition."""
@@ -93,13 +103,19 @@ class Partition:
 
     @staticmethod
     def concat(partitions) -> "Partition":
-        partitions = [p for p in partitions if p.num_rows > 0]
-        if not partitions:
-            raise ValueError("cannot concat zero non-empty partitions")
-        names = list(partitions[0].columns)
+        partitions = list(partitions)
+        non_empty = [p for p in partitions if p.num_rows > 0]
+        if not non_empty:
+            if not partitions:
+                raise ValueError("cannot concat zero partitions")
+            # Every input is empty: the first input already carries the
+            # schema (column names and dtypes), so return it as-is
+            # instead of raising — callers need no special-casing.
+            return partitions[0]
+        names = list(non_empty[0].columns)
         return Partition(
             {
-                name: np.concatenate([p.columns[name] for p in partitions])
+                name: np.concatenate([p.columns[name] for p in non_empty])
                 for name in names
             }
         )

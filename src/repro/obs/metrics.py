@@ -9,6 +9,12 @@ Instruments are cheap enough to leave on: recording is a few attribute
 updates, guarded by the module-wide enabled flag
 (:func:`repro.obs.enabled`), and instrumented code records per
 partition / batch / epoch — never per row.
+
+Instruments are thread-safe: every mutation takes a per-instrument
+lock, so morsel-parallel stage workers (see ``repro.engine.executor``)
+can record concurrently without losing increments.  Reads
+(``.value``, ``summary()``) stay lock-free — a snapshot taken mid-run
+may be one update stale, never corrupt.
 """
 
 from __future__ import annotations
@@ -32,43 +38,50 @@ def _enabled() -> bool:
 class Counter:
     """Monotonically increasing value (int or float increments)."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str):
         self.name = name
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, amount=1) -> None:
         if not _enabled():
             return
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def reset(self) -> None:
-        self.value = 0
+        with self._lock:
+            self.value = 0
 
 
 class Gauge:
     """Last-written value, with a max-combine helper for peaks."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str):
         self.name = name
         self.value = 0
+        self._lock = threading.Lock()
 
     def set(self, value) -> None:
         if not _enabled():
             return
-        self.value = value
+        with self._lock:
+            self.value = value
 
     def set_max(self, value) -> None:
         if not _enabled():
             return
-        if value > self.value:
-            self.value = value
+        with self._lock:
+            if value > self.value:
+                self.value = value
 
     def reset(self) -> None:
-        self.value = 0
+        with self._lock:
+            self.value = 0
 
 
 class Histogram:
@@ -80,7 +93,16 @@ class Histogram:
     bounded while count/sum/min/max remain exact.
     """
 
-    __slots__ = ("name", "count", "total", "min", "max", "values", "max_values")
+    __slots__ = (
+        "name",
+        "count",
+        "total",
+        "min",
+        "max",
+        "values",
+        "max_values",
+        "_lock",
+    )
 
     def __init__(self, name: str, max_values: int = 8192):
         self.name = name
@@ -90,20 +112,22 @@ class Histogram:
         self.min = None
         self.max = None
         self.values: list = []
+        self._lock = threading.Lock()
 
     def observe(self, value) -> None:
         if not _enabled():
             return
         value = float(value)
-        self.count += 1
-        self.total += value
-        if self.min is None or value < self.min:
-            self.min = value
-        if self.max is None or value > self.max:
-            self.max = value
-        self.values.append(value)
-        if len(self.values) > self.max_values:
-            self.values = self.values[::2]
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if self.min is None or value < self.min:
+                self.min = value
+            if self.max is None or value > self.max:
+                self.max = value
+            self.values.append(value)
+            if len(self.values) > self.max_values:
+                self.values = self.values[::2]
 
     def percentile(self, q: float) -> float:
         if not self.values:
@@ -129,11 +153,12 @@ class Histogram:
         }
 
     def reset(self) -> None:
-        self.count = 0
-        self.total = 0.0
-        self.min = None
-        self.max = None
-        self.values = []
+        with self._lock:
+            self.count = 0
+            self.total = 0.0
+            self.min = None
+            self.max = None
+            self.values = []
 
 
 class MetricsRegistry:

@@ -19,24 +19,37 @@ Semantics worth pinning down:
   ``rows_out``.  For a leaf (Source) it is not shown.
 - A node that was never pulled (e.g. below an exhausted ``Limit``)
   still renders, with zero partitions.
+- ``work_s`` is *pure compute* time, reported only by operators that
+  measure it themselves (compiled stages).  Unlike ``elapsed_s`` it is
+  summed across morsel-parallel workers, so with N threads it can
+  exceed wall time; ``add_work`` is the one cross-thread entry point
+  and takes a lock.
 """
 
 from __future__ import annotations
 
 import re
+import threading
 import time
 
 
 class NodeStats:
     """Measured output of one physical operator in one run."""
 
-    __slots__ = ("rows_out", "partitions", "elapsed_s", "peak_partition_bytes")
+    __slots__ = (
+        "rows_out",
+        "partitions",
+        "elapsed_s",
+        "peak_partition_bytes",
+        "work_s",
+    )
 
     def __init__(self):
         self.rows_out = 0
         self.partitions = 0
         self.elapsed_s = 0.0
         self.peak_partition_bytes = 0
+        self.work_s = 0.0
 
 
 class PlanStats:
@@ -44,13 +57,21 @@ class PlanStats:
 
     def __init__(self):
         self._by_id: dict[int, NodeStats] = {}
+        self._lock = threading.Lock()
 
     def node(self, plan_node) -> NodeStats:
         stats = self._by_id.get(id(plan_node))
         if stats is None:
-            stats = NodeStats()
-            self._by_id[id(plan_node)] = stats
+            with self._lock:
+                stats = self._by_id.setdefault(id(plan_node), NodeStats())
         return stats
+
+    def add_work(self, plan_node, seconds: float) -> None:
+        """Credit pure compute time to an operator.  Thread-safe: this
+        is the only PlanStats method morsel workers call."""
+        stats = self.node(plan_node)
+        with self._lock:
+            stats.work_s += seconds
 
     def observe(self, plan_node, partitions):
         """Wrap an operator's partition generator, metering each pull."""
@@ -78,7 +99,9 @@ class PlanStats:
         """The annotated tree ``explain(analyze=True)`` prints.
 
         Field order is fixed (rows_in, rows_out, partitions, time,
-        peak_part_bytes) so golden tests only need to mask times.
+        peak_part_bytes, then work/rows_per_s when the operator
+        reported compute time) so golden tests only need to mask
+        times.
         """
         pad = "  " * indent
         stats = self._by_id.get(id(plan_node))
@@ -98,6 +121,11 @@ class PlanStats:
             fields.append(f"partitions={stats.partitions}")
             fields.append(f"time={stats.elapsed_s * 1000.0:.3f}ms")
             fields.append(f"peak_part_bytes={stats.peak_partition_bytes}")
+            if stats.work_s > 0:
+                fields.append(f"work={stats.work_s * 1000.0:.3f}ms")
+                fields.append(
+                    f"rows_per_s={stats.rows_out / stats.work_s:.0f}"
+                )
             line = f"{pad}{plan_node._label()}  ({' '.join(fields)})"
         lines = [line]
         for child in children:
@@ -126,6 +154,8 @@ class PlanStats:
             registry.counter(f"{prefix}.rows_out").inc(stats.rows_out)
             registry.counter(f"{prefix}.partitions").inc(stats.partitions)
             registry.counter(f"{prefix}.seconds").inc(stats.elapsed_s)
+            if stats.work_s > 0:
+                registry.counter(f"{prefix}.work_seconds").inc(stats.work_s)
             registry.gauge(f"{prefix}.peak_partition_bytes").set_max(
                 stats.peak_partition_bytes
             )

@@ -1,0 +1,408 @@
+"""Tests for the expression/stage compiler and morsel-parallel
+execution (``repro.engine.compile``, executor parallel path).
+
+The contract under test everywhere: compiled execution — serial or
+parallel — is *bit-identical* to the tree-walking interpreter.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine import Session, col, lit, udf
+from repro.engine import plan as P
+from repro.engine.compile import (
+    CompiledExpr,
+    StageRunner,
+    compile_expr,
+    compile_stages,
+)
+from repro.engine.expressions import BinaryOp, CompileError
+from repro.engine.optimizer import optimize
+from repro.engine.partition import Partition
+
+
+@pytest.fixture
+def part():
+    return Partition(
+        {
+            "a": np.array([1, 2, 3, 4], dtype=np.int64),
+            "b": np.array([0.5, 1.5, 2.5, 3.5]),
+            "s": np.array(["x", "y", "x", "z"], dtype=object),
+        }
+    )
+
+
+def assert_identical(actual, expected):
+    assert actual.dtype == expected.dtype
+    np.testing.assert_array_equal(actual, expected)
+
+
+class TestCompileExpr:
+    def test_program_is_flat_postfix(self):
+        compiled = compile_expr((col("a") + lit(1)) * col("b"))
+        kinds = [instr[0] for instr in compiled.program]
+        assert kinds == ["col", "lit", "ufunc", "col", "ufunc"]
+
+    def test_matches_interpreter(self, part):
+        expr = (col("a") + lit(1)) * col("b") - lit(0.25)
+        compiled = compile_expr(expr)
+        assert_identical(
+            compiled.evaluate(part.columns, part.num_rows),
+            expr.evaluate(part),
+        )
+
+    def test_replay_path_matches_first_run(self, part):
+        """Second evaluation takes the in-place/pooled path; bits must
+        not change."""
+        expr = (col("a") * lit(2)) + (col("b") / lit(0.5))
+        compiled = compile_expr(expr)
+        first = compiled.evaluate(part.columns, part.num_rows).copy()
+        for _ in range(3):
+            again = compiled.evaluate(part.columns, part.num_rows)
+            assert_identical(again, first)
+
+    def test_dtype_change_between_calls_falls_back(self):
+        """Same program, different column dtypes: the recorded replay
+        must not force the first run's dtype onto the second."""
+        expr = col("a") + lit(1)
+        compiled = compile_expr(expr)
+        for arr in (
+            np.array([1, 2], dtype=np.int64),
+            np.array([1.0, 2.0], dtype=np.float32),
+            np.array([1, 2], dtype=np.int64),  # and back again
+        ):
+            expected = expr.evaluate(Partition({"a": arr}))
+            assert_identical(compiled.evaluate({"a": arr}, 2), expected)
+
+    def test_bare_column_aliases_input(self, part):
+        """A bare column reference returns the partition's array
+        itself, exactly like Column.evaluate."""
+        compiled = compile_expr(col("a"))
+        assert compiled.evaluate(part.columns, part.num_rows) is part.columns["a"]
+
+    def test_missing_column_raises_keyerror(self, part):
+        compiled = compile_expr(col("nope") + lit(1))
+        with pytest.raises(KeyError):
+            compiled.evaluate(part.columns, part.num_rows)
+
+    def test_string_literal_comparison(self, part):
+        expr = col("s") == lit("x")
+        compiled = compile_expr(expr)
+        assert_identical(
+            compiled.evaluate(part.columns, part.num_rows),
+            expr.evaluate(part),
+        )
+
+    def test_udf_inline(self, part):
+        expr = udf(lambda a, b: np.hypot(a, b), [col("a"), col("b")], "h")
+        compiled = compile_expr(expr)
+        assert_identical(
+            compiled.evaluate(part.columns, part.num_rows),
+            expr.evaluate(part),
+        )
+
+    def test_udf_returning_input_is_never_clobbered(self, part):
+        """An identity UDF hands back one of its inputs; downstream
+        in-place execution must not write into the source column."""
+        expr = udf(lambda a: a, [col("a")], "ident") + lit(10)
+        compiled = compile_expr(expr)
+        original = part.columns["a"].copy()
+        for _ in range(3):
+            out = compiled.evaluate(part.columns, part.num_rows)
+            assert_identical(part.columns["a"], original)
+            assert_identical(out, original + 10)
+
+    def test_udf_wrong_length_raises(self, part):
+        expr = udf(lambda a: a[:2], [col("a")], "trunc")
+        compiled = compile_expr(expr)
+        with pytest.raises(ValueError, match="trunc"):
+            compiled.evaluate(part.columns, part.num_rows)
+
+    def test_non_ufunc_operator_raises_compile_error(self):
+        weird = BinaryOp(col("a"), col("b"), lambda a, b: a + b, "+")
+        with pytest.raises(CompileError):
+            compile_expr(weird)
+
+    def test_repr(self):
+        compiled = compile_expr(col("a") + lit(1))
+        assert "CompiledExpr" in repr(compiled)
+
+
+class TestStageRunner:
+    def _steps(self):
+        return [
+            ("filter", col("a") > lit(1)),
+            ("with_columns", [("c", col("a") * lit(2.0))]),
+            ("project", [("c", col("c")), ("b", col("b"))]),
+        ]
+
+    def test_fused_chain_matches_interpreter(self, part):
+        runner = StageRunner(self._steps())
+        out = runner(part)
+        keep = part.columns["a"] > 1
+        expected_c = (part.columns["a"] * 2.0)[keep]
+        assert list(out.columns) == ["c", "b"]
+        assert_identical(out.columns["c"], expected_c)
+        assert_identical(out.columns["b"], part.columns["b"][keep])
+
+    def test_all_true_filter_returns_same_object(self, part):
+        runner = StageRunner([("filter", col("a") > lit(0))])
+        assert runner(part) is part
+
+    def test_all_false_filter_empty_output(self, part):
+        runner = StageRunner([("filter", col("a") > lit(100))])
+        out = runner(part)
+        assert out.num_rows == 0
+        assert list(out.columns) == ["a", "b", "s"]
+
+    def test_compaction_keeps_only_live_columns_internally(self, part):
+        """After filter+project, dead columns must not appear in the
+        output (liveness pruning is observable only via the result)."""
+        runner = StageRunner(
+            [
+                ("filter", col("a") > lit(1)),
+                ("project", [("b", col("b"))]),
+            ]
+        )
+        out = runner(part)
+        assert list(out.columns) == ["b"]
+        assert_identical(out.columns["b"], part.columns["b"][part.columns["a"] > 1])
+
+    def test_overwritten_column_keeps_its_position(self, part):
+        """with_columns overwriting an existing name after a filter
+        must keep the column's original dict position (interpreter
+        dict-update semantics)."""
+        runner = StageRunner(
+            [
+                ("filter", col("a") > lit(1)),
+                ("with_columns", [("b", col("a") * lit(1.0))]),
+            ]
+        )
+        out = runner(part)
+        assert list(out.columns) == ["a", "b", "s"]
+        keep = part.columns["a"] > 1
+        assert_identical(out.columns["b"], (part.columns["a"] * 1.0)[keep])
+
+    def test_drop_step(self, part):
+        runner = StageRunner(
+            [("with_columns", [("c", col("a") + lit(1))]), ("drop", ["s"])]
+        )
+        out = runner(part)
+        assert list(out.columns) == ["a", "b", "c"]
+
+
+class TestCompileStages:
+    def _session(self, **kwargs):
+        return Session(default_parallelism=2, **kwargs)
+
+    def test_chain_collapses_to_single_stage(self):
+        session = self._session()
+        df = (
+            session.create_dataframe({"a": [1, 2, 3], "b": [1.0, 2.0, 3.0]})
+            .filter(col("a") > 1)
+            .with_column("c", col("a") * 2)
+            .select("c", "b")
+        )
+        plan = optimize(df.plan, stages=True)
+        assert isinstance(plan, P.CompiledStage)
+        assert isinstance(plan.child, P.Source)
+        assert "CompiledStage[" in plan._label()
+        assert " -> " in plan._label()
+
+    def test_stages_flag_off_keeps_logical_nodes(self):
+        session = self._session()
+        df = session.create_dataframe({"a": [1, 2, 3]}).filter(col("a") > 1)
+        plan = optimize(df.plan)  # stages defaults off
+        assert not any(
+            isinstance(n, P.CompiledStage) for n in _walk(plan)
+        )
+
+    def test_uncompilable_chain_falls_back_to_interpreted(self):
+        weird = BinaryOp(col("a"), lit(1), lambda a, b: a + b, "+")
+        node = P.Filter(
+            P.Source([lambda: Partition({"a": np.array([1, 2])})], None),
+            weird,
+        )
+        out = compile_stages(node)
+        assert isinstance(out, P.Filter)
+
+    def test_lone_drop_not_compiled(self):
+        node = P.Drop(
+            P.Source([lambda: Partition({"a": np.array([1])})], None),
+            ["a"],
+        )
+        out = compile_stages(node)
+        assert isinstance(out, P.Drop)
+
+    def test_session_compile_off_matches_compiled_results(self):
+        data = {
+            "a": np.arange(50, dtype=np.int64),
+            "b": np.linspace(0, 1, 50),
+        }
+
+        def pipeline(session):
+            df = session.create_dataframe(data, num_partitions=4)
+            return (
+                df.filter(col("a") % 3 != 0)
+                .with_column("c", col("b") * col("a") + lit(0.5))
+                .select("a", "c")
+                .to_columns()
+            )
+
+        compiled = pipeline(self._session())
+        interpreted = pipeline(self._session(compile=False))
+        assert list(compiled) == list(interpreted)
+        for name in compiled:
+            assert_identical(compiled[name], interpreted[name])
+
+    def test_plan_column_names_through_stage(self):
+        session = self._session()
+        df = (
+            session.create_dataframe({"a": [1], "b": [2.0], "s": ["x"]})
+            .filter(col("a") > 0)
+            .with_column("c", col("a") + 1)
+            .drop("s")
+        )
+        assert df.columns == ["a", "b", "c"]
+        plan = optimize(df.plan, stages=True)
+        assert isinstance(plan, P.CompiledStage)
+        from repro.engine.executor import plan_column_names
+
+        assert plan_column_names(plan) == ["a", "b", "c"]
+
+
+class TestExecutorFastPath:
+    def test_filter_all_true_yields_input_partition(self):
+        from repro.engine.executor import iter_partitions
+
+        src_part = Partition({"a": np.array([1, 2, 3])})
+        node = P.Filter(P.Source([lambda: src_part], None), col("a") > lit(0))
+        out = list(iter_partitions(node))
+        assert out[0] is src_part
+
+    def test_order_by_of_all_empty_inputs(self):
+        session = Session(default_parallelism=2)
+        df = session.create_dataframe(
+            {"a": np.array([1, 2], dtype=np.int64)}
+        ).filter(col("a") > 100)
+        out = df.order_by("a").to_columns()
+        assert out["a"].shape == (0,)
+        assert out["a"].dtype == np.int64
+
+
+class TestMorselParallel:
+    def _pipeline(self, session, n=2000, parts=7):
+        df = session.create_dataframe(
+            {
+                "a": np.arange(n, dtype=np.int64),
+                "b": np.linspace(-1, 1, n),
+            },
+            num_partitions=parts,
+        )
+        return (
+            df.filter((col("a") % 7 != 0) & (col("b") < lit(0.9)))
+            .with_column("c", col("a") * col("b") + lit(3.0))
+            .select("a", "c")
+        )
+
+    def test_parallel_matches_serial_bitwise(self):
+        serial = self._pipeline(Session(default_parallelism=4)).to_columns()
+        parallel = self._pipeline(
+            Session(default_parallelism=4, parallelism=3)
+        ).to_columns()
+        assert list(serial) == list(parallel)
+        for name in serial:
+            assert_identical(parallel[name], serial[name])
+
+    def test_parallel_preserves_partition_order(self):
+        session = Session(default_parallelism=4, parallelism=2)
+        df = self._pipeline(session)
+        sizes = [p.num_rows for p in df.iter_partitions()]
+        serial_sizes = [
+            p.num_rows
+            for p in self._pipeline(Session(default_parallelism=4)).iter_partitions()
+        ]
+        assert sizes == serial_sizes
+
+    def test_parallel_early_stop_shuts_down_cleanly(self):
+        session = Session(default_parallelism=4, parallelism=2)
+        df = self._pipeline(session)
+        it = df.iter_partitions()
+        next(it)
+        it.close()  # must not hang or leak the pool
+
+    def test_parallel_queue_depth_one(self):
+        session = Session(default_parallelism=4, parallelism=2, queue_depth=1)
+        out = self._pipeline(session).to_columns()
+        serial = self._pipeline(Session(default_parallelism=4)).to_columns()
+        for name in serial:
+            assert_identical(out[name], serial[name])
+
+    def test_parallel_udf_errors_propagate(self):
+        session = Session(default_parallelism=4, parallelism=2)
+        df = session.create_dataframe(
+            {"a": np.arange(20, dtype=np.int64)}, num_partitions=4
+        )
+
+        def boom(a):
+            raise RuntimeError("udf failure")
+
+        bad = df.with_column("c", udf(boom, [col("a")], "boom"))
+        with pytest.raises(RuntimeError, match="udf failure"):
+            bad.collect()
+
+    def test_session_validates_parallelism(self):
+        with pytest.raises(ValueError):
+            Session(parallelism=0)
+        with pytest.raises(ValueError):
+            Session(queue_depth=0)
+
+
+class TestAnalyzeIntegration:
+    def test_compiled_stage_reports_work_and_rows_per_s(self):
+        from repro import obs
+
+        obs.reset()
+        obs.set_enabled(True)
+        try:
+            session = Session(default_parallelism=2)
+            df = session.create_dataframe(
+                {"a": np.arange(100, dtype=np.int64)}
+            ).filter(col("a") > 10)
+            text = df.explain(analyze=True)
+            assert "CompiledStage[" in text
+            assert "work=" in text
+            assert "rows_per_s=" in text
+        finally:
+            obs.reset()
+
+    def test_parallel_analyze_counts_match_serial(self):
+        from repro import obs
+
+        obs.reset()
+        obs.set_enabled(True)
+        try:
+            def run(parallelism):
+                session = Session(
+                    default_parallelism=4, parallelism=parallelism
+                )
+                df = session.create_dataframe(
+                    {"a": np.arange(200, dtype=np.int64)},
+                    num_partitions=4,
+                ).filter(col("a") % 2 == 0)
+                list(df.iter_partitions())
+                stats = session.last_plan_stats
+                root = stats.node(session.last_plan)
+                return root.rows_out, root.partitions
+
+            assert run(1) == run(2)
+        finally:
+            obs.reset()
+
+
+def _walk(node):
+    yield node
+    for child in getattr(node, "children", ()):
+        yield from _walk(child)

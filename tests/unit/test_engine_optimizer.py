@@ -318,8 +318,11 @@ class TestWiring:
         )
         assert "== Logical Plan ==" in text
         assert "== Optimized Plan ==" in text
-        # The optimized section shows the narrowed source scan.
-        assert "Project[a]" in text.split("== Optimized Plan ==")[1]
+        # The optimized section shows the chain collapsed into one
+        # compiled stage, with the narrowed source scan as its first
+        # step.
+        optimized = text.split("== Optimized Plan ==")[1]
+        assert "CompiledStage[Project(a)" in optimized
 
 
 class TestLeftJoinDtypePolicy:

@@ -33,7 +33,9 @@ def session():
 
 
 def mask_times(text: str) -> str:
-    return re.sub(r"time=\d+\.\d+ms", "time=*", text)
+    text = re.sub(r"time=\d+\.\d+ms", "time=*", text)
+    text = re.sub(r"work=\d+\.\d+ms", "work=*", text)
+    return re.sub(r"rows_per_s=\d+", "rows_per_s=*", text)
 
 
 def join_groupby_pipeline(session):
@@ -80,9 +82,9 @@ class TestExplainGolden:
             == Optimized Plan ==
             GroupByAgg[keys=['k'], aggs=(s)]
               Join[inner, on=['k']]
-                Filter[(v > lit(1))]
+                CompiledStage[Filter((v > lit(1)))]
                   Source[2 partitions]
-                Project[k]
+                CompiledStage[Project(k)]
                   Source[2 partitions]"""
         )
         assert df.explain(optimized=True) == expected
@@ -94,9 +96,9 @@ class TestExplainGolden:
             == Analyzed Plan ==
             GroupByAgg[keys=['k'], aggs=(s)]  (rows_in=8 rows_out=3 partitions=1 time=* peak_part_bytes=48)
               Join[inner, on=['k']]  (rows_in=11 rows_out=8 partitions=2 time=* peak_part_bytes=80)
-                Filter[(v > lit(1))]  (rows_in=10 rows_out=8 partitions=2 time=* peak_part_bytes=80)
+                CompiledStage[Filter((v > lit(1)))]  (rows_in=10 rows_out=8 partitions=2 time=* peak_part_bytes=80 work=* rows_per_s=*)
                   Source[2 partitions]  (rows_out=10 partitions=2 time=* peak_part_bytes=80)
-                Project[k]  (rows_in=3 rows_out=3 partitions=2 time=* peak_part_bytes=16)
+                CompiledStage[Project(k)]  (rows_in=3 rows_out=3 partitions=2 time=* peak_part_bytes=16 work=* rows_per_s=*)
                   Source[2 partitions]  (rows_out=3 partitions=2 time=* peak_part_bytes=32)"""
         )
         assert mask_times(df.explain(analyze=True)) == expected

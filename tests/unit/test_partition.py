@@ -73,10 +73,16 @@ class TestOperations:
         out = Partition.concat([empty, part])
         assert out.num_rows == 5
 
-    def test_concat_all_empty_rejected(self):
-        empty = Partition({"a": np.empty(0)})
+    def test_concat_all_empty_preserves_schema(self):
+        empty = Partition({"a": np.empty(0, dtype=np.int64)})
+        out = Partition.concat([empty, Partition({"a": np.empty(0, dtype=np.int64)})])
+        assert out.num_rows == 0
+        assert list(out.columns) == ["a"]
+        assert out.columns["a"].dtype == np.int64
+
+    def test_concat_zero_partitions_rejected(self):
         with pytest.raises(ValueError):
-            Partition.concat([empty])
+            Partition.concat([])
 
     def test_nbytes_object_columns_weighted(self):
         numeric = Partition({"a": np.zeros(100, dtype=np.float64)})
