@@ -1,15 +1,18 @@
 #!/usr/bin/env bash
-# Repo health check, five gates:
+# Repo health check, six gates:
 #   1. lint: ruff check (config in pyproject.toml); skipped with a
 #      note when ruff is not installed in the environment
 #   2. tier-1: the full test suite (what the roadmap pins)
 #   3. fast lane: unit tests minus anything marked slow
-#   4. bench smoke: benchmarks/run_quick.py runs to completion and
+#   4. spill lane: the spill suites again under a forced
+#      REPRO_TEST_MEMORY_BUDGET, so the out-of-core operator paths
+#      run even where a test forgot to pass memory_budget=
+#   5. bench smoke: benchmarks/run_quick.py runs to completion and
 #      regenerates BENCH_engine.json (incl. per-operator breakdown)
-#   5. bench diff: the fresh BENCH_engine.json must not regress the
+#   6. bench diff: the fresh BENCH_engine.json must not regress the
 #      watched keys (obs overhead, join speedup, ConvLSTM epoch time,
 #      peak activation bytes, compiled-stage speedup, 2-thread morsel
-#      scaling) >25% vs the committed one
+#      scaling, spill peak bytes + slowdown) >25% vs the committed one
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
@@ -28,6 +31,12 @@ python -m pytest -x -q
 
 echo "== fast lane: unit, not slow =="
 python -m pytest tests/unit -q -m "not slow"
+
+echo "== spill lane: forced memory budget =="
+REPRO_TEST_MEMORY_BUDGET=4096 python -m pytest -q \
+    tests/unit/test_spill_manager.py \
+    tests/unit/test_spill_faults.py \
+    tests/property/test_property_spill.py
 
 echo "== bench smoke: run_quick =="
 baseline="$(mktemp)"

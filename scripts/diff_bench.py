@@ -19,6 +19,11 @@ regenerating BENCH_engine.json):
 - ``parallel_scaling_2t`` — serial over 2-thread morsel wall time;
   lower is worse.  (Bounded by the host's core count — ~1.0 on a
   single-core runner; the committed baseline is what the gate holds.)
+- ``order_by_spill_peak_bytes`` — metered peak resident bytes of the
+  budgeted out-of-core sort; higher is worse (the whole point of the
+  spill paths is that this stays pinned near the budget).
+- ``spill_slowdown`` — spilled over in-memory order_by wall time;
+  higher is worse.
 
 A key regresses when it moves more than ``TOLERANCE`` (25%) in its bad
 direction.  Missing keys in the baseline (older file layouts) are
@@ -41,6 +46,8 @@ WATCHED = {
     "peak_activation_bytes": "lower",
     "expr_pipeline_speedup": "higher",
     "parallel_scaling_2t": "higher",
+    "order_by_spill_peak_bytes": "lower",
+    "spill_slowdown": "lower",
 }
 
 

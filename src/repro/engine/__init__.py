@@ -45,7 +45,15 @@ Materializing operators — the ops whose state is O(dataset), not
 O(partition): ``order_by``, ``repartition`` (buffer everything before
 emitting), ``cache`` (keeps results resident), the build side of
 ``join``, and the per-group state of ``group_by().agg``.  All of them
-report through the attached ``MemoryMeter``.
+report through the attached ``MemoryMeter``.  Under
+``Session(memory_budget=bytes)`` they additionally run *out of core*:
+input beyond the budget spills to disk through the session's
+:class:`repro.engine.spill.SpillManager` (``order_by`` becomes an
+external merge sort, ``join`` grace-partitions an oversized build
+side, ``cache``/``repartition`` buffer through spillable overflow) and
+results stay bit-identical to the unbounded paths.  Spill failures
+surface as :class:`SpillError`; activity lands in ``repro.obs`` under
+``engine.spill.*`` and as ``spilled=`` in ``explain(analyze=True)``.
 
 Every action is metered by :mod:`repro.obs` (on by default, one
 switch, per-partition cost only): per-operator rows / partitions /
@@ -60,6 +68,7 @@ from repro.engine.expressions import col, lit, udf, Expr
 from repro.engine.schema import Schema, Field
 from repro.engine.partition import Partition
 from repro.engine.optimizer import optimize
+from repro.engine.spill import SpillError
 from repro.engine import aggregates as agg
 
 __all__ = [
@@ -73,5 +82,6 @@ __all__ = [
     "Schema",
     "Field",
     "Partition",
+    "SpillError",
     "agg",
 ]

@@ -56,6 +56,7 @@ class DataFrame:
                 stats=stats,
                 parallelism=self.session.parallelism,
                 queue_depth=self.session.queue_depth,
+                spill=self.session.spill_manager,
             ):
                 pass
             stats.flush_to_registry(plan)
@@ -194,6 +195,7 @@ class DataFrame:
                 meter=self.session.meter,
                 parallelism=self.session.parallelism,
                 queue_depth=self.session.queue_depth,
+                spill=self.session.spill_manager,
             )
         return self._observed_partitions(plan)
 
@@ -210,6 +212,7 @@ class DataFrame:
                 stats=stats,
                 parallelism=self.session.parallelism,
                 queue_depth=self.session.queue_depth,
+                spill=self.session.spill_manager,
             )
         finally:
             # Flush even when the consumer stops early (limit / take):

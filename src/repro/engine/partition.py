@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.engine.schema import Field, Schema
+from repro.utils.memory import approx_nbytes
 
 
 class Partition:
@@ -56,11 +57,18 @@ class Partition:
 
     @property
     def nbytes(self) -> int:
-        """Approximate bytes held by this partition."""
+        """Approximate bytes held by this partition.
+
+        Object columns count their element payloads (sampled, so the
+        estimate stays O(1) per column) on top of the pointer array —
+        a flat per-pointer constant undercounts string/geometry columns
+        badly, which would let spill budgets overshoot by the payload
+        size.
+        """
         total = 0
         for arr in self.columns.values():
             if arr.dtype == object:
-                total += arr.size * 56  # rough per-object estimate
+                total += arr.nbytes + _object_payload_bytes(arr)
             else:
                 total += arr.nbytes
         return total
@@ -119,6 +127,22 @@ class Partition:
                 for name in names
             }
         )
+
+
+_PAYLOAD_SAMPLE = 32
+
+
+def _object_payload_bytes(arr: np.ndarray) -> int:
+    """Estimate the payload bytes behind an object column's pointers
+    by sampling up to ``_PAYLOAD_SAMPLE`` evenly-strided elements."""
+    n = arr.size
+    if n == 0:
+        return 0
+    if n <= _PAYLOAD_SAMPLE:
+        return int(sum(approx_nbytes(v) for v in arr))
+    sample = arr[:: n // _PAYLOAD_SAMPLE][:_PAYLOAD_SAMPLE]
+    mean = sum(approx_nbytes(v) for v in sample) / len(sample)
+    return int(mean * n)
 
 
 def _best_array(values: list) -> np.ndarray:

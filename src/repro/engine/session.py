@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
 from repro.engine import plan as P
@@ -42,6 +44,19 @@ class Session:
         Bound on in-flight morsels per stage (default
         ``2 * parallelism``); caps resident partitions at
         O(parallelism + queue_depth) in parallel mode.
+    memory_budget:
+        Soft cap (bytes) on what the *materializing* operators —
+        ``order_by``, ``repartition``, the join build side, ``cache``
+        — may keep resident.  When set, input beyond the budget spills
+        to disk through the session's :class:`SpillManager` and is
+        restored on demand, so datasets larger than memory still
+        execute; results are bit-identical to the unbounded paths.
+        Default ``None`` (never spill); the ``REPRO_TEST_MEMORY_BUDGET``
+        environment variable, when set, supplies a default budget so CI
+        can force the spill paths on small fixtures.
+    spill_dir:
+        Parent directory for the spill temp dir (default: the system
+        temp dir).  Only consulted when something actually spills.
     """
 
     def __init__(
@@ -52,21 +67,63 @@ class Session:
         compile: bool = True,
         parallelism: int = 1,
         queue_depth: int | None = None,
+        memory_budget: int | None = None,
+        spill_dir: str | None = None,
     ):
         check_positive(default_parallelism, "default_parallelism")
         check_positive(parallelism, "parallelism")
         if queue_depth is not None:
             check_positive(queue_depth, "queue_depth")
+        if memory_budget is None:
+            env = os.environ.get("REPRO_TEST_MEMORY_BUDGET")
+            if env:
+                memory_budget = int(env)
+        if memory_budget is not None:
+            check_positive(memory_budget, "memory_budget")
         self.default_parallelism = default_parallelism
         self.meter = meter
         self.optimize = optimize
         self.compile = compile
         self.parallelism = parallelism
         self.queue_depth = queue_depth
+        self.memory_budget = memory_budget
+        self.spill_dir = spill_dir
+        self._spill_manager = None
         # Most recent metered execution (set by DataFrame actions when
         # repro.obs is enabled): the executed plan and its PlanStats.
         self.last_plan = None
         self.last_plan_stats = None
+
+    # ------------------------------------------------------------------
+    # Spill lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def spill_manager(self):
+        """The session's :class:`~repro.engine.spill.SpillManager`, or
+        ``None`` when no memory budget is set (never spill)."""
+        if self.memory_budget is None:
+            return None
+        if self._spill_manager is None:
+            from repro.engine.spill import SpillManager
+
+            self._spill_manager = SpillManager(
+                budget=self.memory_budget, root=self.spill_dir
+            )
+        return self._spill_manager
+
+    def close(self) -> None:
+        """Release session resources: deletes the spill directory and
+        every spilled partition.  Idempotent; the session remains
+        usable afterwards (a new spill dir is created on demand)."""
+        manager, self._spill_manager = self._spill_manager, None
+        if manager is not None:
+            manager.close()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # DataFrame creation

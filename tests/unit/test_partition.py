@@ -91,6 +91,29 @@ class TestOperations:
         )
         assert objects.nbytes > numeric.nbytes / 20
 
+    def test_nbytes_counts_object_payloads(self):
+        """Regression: a flat per-pointer constant undercounted object
+        columns (1 KB strings estimated at 56 B/row), letting spill
+        budgets overshoot by the payload size.  The estimate must land
+        within 2x of the pickled size."""
+        import pickle
+
+        strings = np.empty(200, dtype=object)
+        strings[:] = [f"{i:06d}" + "x" * 994 for i in range(200)]
+        part = Partition({"s": strings})
+        pickled = len(pickle.dumps(strings))
+        assert part.nbytes > 200 * 1000  # payloads actually counted
+        assert pickled / 2 <= part.nbytes <= pickled * 2
+
+    def test_nbytes_payload_sampling_handles_mixed_sizes(self):
+        values = np.empty(640, dtype=object)
+        values[:] = [("y" * 100 if i % 2 else "z") for i in range(640)]
+        part = Partition({"s": values})
+        # Strided sampling must not latch onto only-short or only-long
+        # elements: the estimate stays within 4x of the exact payload.
+        exact = sum(len(v) + 49 for v in values) + values.nbytes
+        assert exact / 4 <= part.nbytes <= exact * 4
+
     def test_schema(self, part):
         schema = part.schema()
         assert schema.names == ["a", "b"]
