@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Repo health check, six gates:
+# Repo health check, seven gates:
 #   1. lint: ruff check (config in pyproject.toml); skipped with a
 #      note when ruff is not installed in the environment
 #   2. tier-1: the full test suite (what the roadmap pins)
@@ -7,12 +7,16 @@
 #   4. spill lane: the spill suites again under a forced
 #      REPRO_TEST_MEMORY_BUDGET, so the out-of-core operator paths
 #      run even where a test forgot to pass memory_budget=
-#   5. bench smoke: benchmarks/run_quick.py runs to completion and
+#   5. traced lane: the training + trace suites again under a forced
+#      REPRO_TRACE=1, so every Trainer.fit in those tests runs through
+#      the trace record/replay path instead of pure eager
+#   6. bench smoke: benchmarks/run_quick.py runs to completion and
 #      regenerates BENCH_engine.json (incl. per-operator breakdown)
-#   6. bench diff: the fresh BENCH_engine.json must not regress the
+#   7. bench diff: the fresh BENCH_engine.json must not regress the
 #      watched keys (obs overhead, join speedup, ConvLSTM epoch time,
 #      peak activation bytes, compiled-stage speedup, 2-thread morsel
-#      scaling, spill peak bytes + slowdown) >25% vs the committed one
+#      scaling, spill peak bytes + slowdown, traced-step speedup +
+#      capture overhead) >25% vs the committed one
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
@@ -37,6 +41,12 @@ REPRO_TEST_MEMORY_BUDGET=4096 python -m pytest -q \
     tests/unit/test_spill_manager.py \
     tests/unit/test_spill_faults.py \
     tests/property/test_property_spill.py
+
+echo "== traced lane: forced REPRO_TRACE =="
+REPRO_TRACE=1 python -m pytest -q \
+    tests/unit/test_training.py \
+    tests/unit/test_trace.py \
+    tests/property/test_property_trace.py
 
 echo "== bench smoke: run_quick =="
 baseline="$(mktemp)"

@@ -24,6 +24,10 @@ regenerating BENCH_engine.json):
   spill paths is that this stays pinned near the budget).
 - ``spill_slowdown`` — spilled over in-memory order_by wall time;
   higher is worse.
+- ``traced_step_speedup`` — eager ConvLSTM training step over the
+  trace-replayed step; lower is worse.
+- ``trace_capture_overhead_ratio`` — the one-off record+compile step
+  over a steady-state eager step; higher is worse.
 
 A key regresses when it moves more than ``TOLERANCE`` (25%) in its bad
 direction.  Missing keys in the baseline (older file layouts) are
@@ -48,6 +52,8 @@ WATCHED = {
     "parallel_scaling_2t": "higher",
     "order_by_spill_peak_bytes": "lower",
     "spill_slowdown": "lower",
+    "traced_step_speedup": "higher",
+    "trace_capture_overhead_ratio": "lower",
 }
 
 

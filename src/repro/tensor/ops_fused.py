@@ -32,9 +32,15 @@ from __future__ import annotations
 
 import numpy as np
 
+from importlib import import_module
+
 from repro.obs.profiler import op_span
 from repro.tensor.pool import default_pool
 from repro.tensor.tensor import Tensor
+
+# The module object, not the same-named free function the package
+# re-exports: the ``_TRACE`` recording hook lives on the module.
+_tensor_mod = import_module("repro.tensor.tensor")
 
 
 def _sigmoid(x: np.ndarray) -> np.ndarray:
@@ -88,7 +94,10 @@ def fused_linear(x: Tensor, weight: Tensor, bias: Tensor | None = None) -> Tenso
                     )
 
     parents = (x, weight) if bias is None else (x, weight, bias)
-    return Tensor._make(out, parents, backward)
+    ret = Tensor._make(out, parents, backward)
+    if _tensor_mod._TRACE is not None:
+        _tensor_mod._TRACE.record("fused_linear", parents, (ret,))
+    return ret
 
 
 def fused_lstm_gates(gates: Tensor, c: Tensor, hidden: int):
@@ -165,4 +174,11 @@ def fused_lstm_gates(gates: Tensor, c: Tensor, hidden: int):
                 c_next._accumulate((dh * o) * (1.0 - t**2), donate=True)
 
     h_next = Tensor._make(h_data, (gates, c_next), backward_h)
+    if _tensor_mod._TRACE is not None:
+        _tensor_mod._TRACE.record(
+            "fused_lstm_gates",
+            (gates, c),
+            (h_next, c_next),
+            {"hidden": hidden},
+        )
     return h_next, c_next

@@ -28,6 +28,8 @@ collected as usual.  Access is process-wide through
 
 from __future__ import annotations
 
+import contextlib
+
 import numpy as np
 
 _counters = None  # lazy (hit, miss, reject) counter triple
@@ -58,7 +60,16 @@ class ArrayPool:
         self.hits = 0
         self.misses = 0
         self.rejects = 0
+        # Reject-reason breakdown: which cap (or safety rule) is
+        # actually turning arrays away — the knob-tuning signal the
+        # aggregate ``rejects`` count hides.
+        self.reject_alias = 0
+        self.reject_bytes = 0
+        self.reject_per_key = 0
         self._buckets: dict[tuple, list[np.ndarray]] = {}
+        # Deepest each bucket has ever been: reveals whether
+        # ``max_per_key`` is the binding constraint for a shape.
+        self._high_water: dict[tuple, int] = {}
 
     def __len__(self) -> int:
         return sum(len(bucket) for bucket in self._buckets.values())
@@ -103,37 +114,79 @@ class ArrayPool:
             or arr.nbytes == 0
         ):
             self.rejects += 1
+            self.reject_alias += 1
             _counter_triple()[2].inc()
             return False
         if self.bytes + arr.nbytes > self.max_bytes:
             self.rejects += 1
+            self.reject_bytes += 1
             _counter_triple()[2].inc()
             return False
-        bucket = self._buckets.setdefault(self._key(arr.shape, arr.dtype), [])
+        key = self._key(arr.shape, arr.dtype)
+        bucket = self._buckets.setdefault(key, [])
         if len(bucket) >= self.max_per_key:
             self.rejects += 1
+            self.reject_per_key += 1
             _counter_triple()[2].inc()
             return False
         bucket.append(arr)
+        depth = len(bucket)
+        if depth > self._high_water.get(key, 0):
+            self._high_water[key] = depth
         self.bytes += arr.nbytes
         return True
 
     def reset(self) -> None:
         """Drop every cached array and zero the local statistics."""
         self._buckets.clear()
+        self._high_water.clear()
         self.bytes = 0
         self.hits = 0
         self.misses = 0
         self.rejects = 0
+        self.reject_alias = 0
+        self.reject_bytes = 0
+        self.reject_per_key = 0
 
     def stats(self) -> dict:
-        return {
+        """Snapshot of pool effectiveness.
+
+        Besides the raw counters this reports ``hit_rate`` (fraction of
+        acquires served from cache), the reject-reason breakdown, and
+        ``high_water`` — the deepest each ``(shape, dtype)`` bucket has
+        been, keyed by its repr.  For the process-wide pool the derived
+        values are also pushed to ``tensor.pool.*`` gauges so they land
+        in ``obs.export.snapshot()`` next to the hit/miss counters.
+        """
+        acquires = self.hits + self.misses
+        hit_rate = self.hits / acquires if acquires else 0.0
+        out = {
             "arrays": len(self),
             "bytes": self.bytes,
             "hits": self.hits,
             "misses": self.misses,
             "rejects": self.rejects,
+            "hit_rate": hit_rate,
+            "reject_alias": self.reject_alias,
+            "reject_bytes": self.reject_bytes,
+            "reject_per_key": self.reject_per_key,
+            "high_water": {
+                f"{shape}:{dtype}": depth
+                for (shape, dtype), depth in sorted(self._high_water.items())
+            },
+            "high_water_max": max(self._high_water.values(), default=0),
         }
+        if self is _DEFAULT:
+            from repro import obs
+
+            gauge = obs.registry.gauge
+            gauge("tensor.pool.hit_rate").set(hit_rate)
+            gauge("tensor.pool.bytes").set(self.bytes)
+            gauge("tensor.pool.high_water_max").set(out["high_water_max"])
+            gauge("tensor.pool.reject_alias").set(self.reject_alias)
+            gauge("tensor.pool.reject_bytes").set(self.reject_bytes)
+            gauge("tensor.pool.reject_per_key").set(self.reject_per_key)
+        return out
 
 
 _DEFAULT = ArrayPool()
@@ -142,3 +195,23 @@ _DEFAULT = ArrayPool()
 def default_pool() -> ArrayPool:
     """The process-wide pool used by the autograd runtime."""
     return _DEFAULT
+
+
+@contextlib.contextmanager
+def use_pool(pool: ArrayPool):
+    """Temporarily make ``pool`` the process-wide default.
+
+    Every ``default_pool()`` lookup inside the block — including the
+    ones buried in autograd closures — resolves to ``pool``, and the
+    previous default is restored on exit.  :class:`~repro.tensor.trace.
+    TracedProgram` replays under a small private pool this way so the
+    per-step gradient churn of a replayed step never changes the
+    residency of the shared pool.
+    """
+    global _DEFAULT
+    prev = _DEFAULT
+    _DEFAULT = pool
+    try:
+        yield pool
+    finally:
+        _DEFAULT = prev

@@ -16,9 +16,15 @@ from contextlib import contextmanager
 
 import numpy as np
 
+from repro.obs.profiler import op_span
 from repro.tensor.pool import default_pool
 
 _grad_enabled = True
+
+# Active TraceRecorder (repro.tensor.trace), or None.  Ops report
+# themselves through the module-level hooks below while a TraceSession
+# is capturing a step; outside capture every hook is a None check.
+_TRACE = None
 
 _freed_counter = None  # lazy obs counter for autograd.freed_bytes
 
@@ -150,12 +156,19 @@ class Tensor:
 
     def detach(self) -> "Tensor":
         """Return a new tensor sharing data but outside the graph."""
-        return Tensor(self.data, requires_grad=False)
+        out = Tensor(self.data, requires_grad=False)
+        if _TRACE is not None:
+            _TRACE.record("detach", (self,), (out,))
+        return out
 
     def copy(self) -> "Tensor":
+        if _TRACE is not None:
+            _TRACE.abort("Tensor.copy() inside the traced region")
         return Tensor(self.data.copy(), requires_grad=False)
 
     def astype(self, dtype) -> "Tensor":
+        if _TRACE is not None:
+            _TRACE.abort("Tensor.astype() inside the traced region")
         return Tensor(self.data.astype(dtype), requires_grad=False)
 
     # ------------------------------------------------------------------
@@ -290,6 +303,8 @@ class Tensor:
         if not free_graph:
             for node in reversed(topo):
                 if node._backward is not None and node.grad is not None:
+                    if _TRACE is not None:
+                        _TRACE.note_backward(node)
                     node._backward(node.grad)
             return
 
@@ -298,6 +313,8 @@ class Tensor:
         for node in reversed(topo):
             if node._backward is not None:
                 if node.grad is not None:
+                    if _TRACE is not None:
+                        _TRACE.note_backward(node)
                     node._backward(node.grad)
                 if node is root:
                     # The root stays readable (loss.item() after
@@ -320,6 +337,11 @@ class Tensor:
         if track:
             out._prev = tuple(p for p in parents if p.requires_grad)
             out._backward = backward
+            if _TRACE is not None:
+                # Every graph node passes through here; the recorder
+                # aborts at finalize if an op it has no kernel for
+                # failed to claim its node via record().
+                _TRACE.saw(out)
         return out
 
     # ------------------------------------------------------------------
@@ -331,17 +353,22 @@ class Tensor:
 
     def __add__(self, other):
         other = self._coerce(other)
-        data = self.data + other.data
+        with op_span("tensor.add"):
+            data = self.data + other.data
 
         def backward(grad):
-            if self.requires_grad:
-                g = _unbroadcast(grad, self.shape)
-                self._accumulate(g, donate=g is not grad)
-            if other.requires_grad:
-                g = _unbroadcast(grad, other.shape)
-                other._accumulate(g, donate=g is not grad)
+            with op_span("tensor.add.backward"):
+                if self.requires_grad:
+                    g = _unbroadcast(grad, self.shape)
+                    self._accumulate(g, donate=g is not grad)
+                if other.requires_grad:
+                    g = _unbroadcast(grad, other.shape)
+                    other._accumulate(g, donate=g is not grad)
 
-        return Tensor._make(data, (self, other), backward)
+        out = Tensor._make(data, (self, other), backward)
+        if _TRACE is not None:
+            _TRACE.record("add", (self, other), (out,))
+        return out
 
     __radd__ = __add__
 
@@ -356,26 +383,34 @@ class Tensor:
             if other.requires_grad:
                 other._accumulate(_unbroadcast(-grad, other.shape), donate=True)
 
-        return Tensor._make(data, (self, other), backward)
+        out = Tensor._make(data, (self, other), backward)
+        if _TRACE is not None:
+            _TRACE.record("sub", (self, other), (out,))
+        return out
 
     def __rsub__(self, other):
         return self._coerce(other).__sub__(self)
 
     def __mul__(self, other):
         other = self._coerce(other)
-        data = self.data * other.data
+        with op_span("tensor.mul"):
+            data = self.data * other.data
 
         def backward(grad):
-            if self.requires_grad:
-                self._accumulate(
-                    _unbroadcast(grad * other.data, self.shape), donate=True
-                )
-            if other.requires_grad:
-                other._accumulate(
-                    _unbroadcast(grad * self.data, other.shape), donate=True
-                )
+            with op_span("tensor.mul.backward"):
+                if self.requires_grad:
+                    self._accumulate(
+                        _unbroadcast(grad * other.data, self.shape), donate=True
+                    )
+                if other.requires_grad:
+                    other._accumulate(
+                        _unbroadcast(grad * self.data, other.shape), donate=True
+                    )
 
-        return Tensor._make(data, (self, other), backward)
+        out = Tensor._make(data, (self, other), backward)
+        if _TRACE is not None:
+            _TRACE.record("mul", (self, other), (out,))
+        return out
 
     __rmul__ = __mul__
 
@@ -394,7 +429,10 @@ class Tensor:
                     donate=True,
                 )
 
-        return Tensor._make(data, (self, other), backward)
+        out = Tensor._make(data, (self, other), backward)
+        if _TRACE is not None:
+            _TRACE.record("div", (self, other), (out,))
+        return out
 
     def __rtruediv__(self, other):
         return self._coerce(other).__truediv__(self)
@@ -403,7 +441,10 @@ class Tensor:
         def backward(grad):
             self._accumulate(-grad, donate=True)
 
-        return Tensor._make(-self.data, (self,), backward)
+        out = Tensor._make(-self.data, (self,), backward)
+        if _TRACE is not None:
+            _TRACE.record("neg", (self,), (out,))
+        return out
 
     def __pow__(self, exponent):
         if not isinstance(exponent, (int, float)):
@@ -415,29 +456,37 @@ class Tensor:
                 grad * exponent * self.data ** (exponent - 1), donate=True
             )
 
-        return Tensor._make(data, (self,), backward)
+        out = Tensor._make(data, (self,), backward)
+        if _TRACE is not None:
+            _TRACE.record("pow", (self,), (out,), {"exponent": exponent})
+        return out
 
     def __matmul__(self, other):
         other = self._coerce(other)
-        data = self.data @ other.data
+        with op_span("tensor.matmul"):
+            data = self.data @ other.data
 
         def backward(grad):
-            if self.requires_grad:
-                if other.data.ndim == 1:
-                    g = np.outer(grad, other.data) if grad.ndim == 1 else (
-                        grad[..., None] * other.data
-                    )
-                else:
-                    g = grad @ np.swapaxes(other.data, -1, -2)
-                self._accumulate(_unbroadcast(np.asarray(g), self.shape))
-            if other.requires_grad:
-                if self.data.ndim == 1:
-                    g = np.outer(self.data, grad)
-                else:
-                    g = np.swapaxes(self.data, -1, -2) @ grad
-                other._accumulate(_unbroadcast(np.asarray(g), other.shape))
+            with op_span("tensor.matmul.backward"):
+                if self.requires_grad:
+                    if other.data.ndim == 1:
+                        g = np.outer(grad, other.data) if grad.ndim == 1 else (
+                            grad[..., None] * other.data
+                        )
+                    else:
+                        g = grad @ np.swapaxes(other.data, -1, -2)
+                    self._accumulate(_unbroadcast(np.asarray(g), self.shape))
+                if other.requires_grad:
+                    if self.data.ndim == 1:
+                        g = np.outer(self.data, grad)
+                    else:
+                        g = np.swapaxes(self.data, -1, -2) @ grad
+                    other._accumulate(_unbroadcast(np.asarray(g), other.shape))
 
-        return Tensor._make(data, (self, other), backward)
+        out = Tensor._make(data, (self, other), backward)
+        if _TRACE is not None:
+            _TRACE.record("matmul", (self, other), (out,))
+        return out
 
     # ------------------------------------------------------------------
     # Comparisons (non-differentiable; return plain bool tensors)
@@ -467,7 +516,10 @@ class Tensor:
         def backward(grad):
             self._accumulate(grad * data, donate=True)
 
-        return Tensor._make(data, (self,), backward)
+        out = Tensor._make(data, (self,), backward)
+        if _TRACE is not None:
+            _TRACE.record("exp", (self,), (out,))
+        return out
 
     def log(self):
         data = np.log(self.data)
@@ -475,7 +527,10 @@ class Tensor:
         def backward(grad):
             self._accumulate(grad / self.data, donate=True)
 
-        return Tensor._make(data, (self,), backward)
+        out = Tensor._make(data, (self,), backward)
+        if _TRACE is not None:
+            _TRACE.record("log", (self,), (out,))
+        return out
 
     def sqrt(self):
         data = np.sqrt(self.data)
@@ -483,7 +538,10 @@ class Tensor:
         def backward(grad):
             self._accumulate(grad * 0.5 / np.maximum(data, 1e-12), donate=True)
 
-        return Tensor._make(data, (self,), backward)
+        out = Tensor._make(data, (self,), backward)
+        if _TRACE is not None:
+            _TRACE.record("sqrt", (self,), (out,))
+        return out
 
     def abs(self):
         data = np.abs(self.data)
@@ -491,30 +549,43 @@ class Tensor:
         def backward(grad):
             self._accumulate(grad * np.sign(self.data), donate=True)
 
-        return Tensor._make(data, (self,), backward)
+        out = Tensor._make(data, (self,), backward)
+        if _TRACE is not None:
+            _TRACE.record("abs", (self,), (out,))
+        return out
 
     def tanh(self):
-        data = np.tanh(self.data)
+        with op_span("tensor.tanh"):
+            data = np.tanh(self.data)
 
         def backward(grad):
-            self._accumulate(grad * (1.0 - data**2), donate=True)
+            with op_span("tensor.tanh.backward"):
+                self._accumulate(grad * (1.0 - data**2), donate=True)
 
-        return Tensor._make(data, (self,), backward)
+        out = Tensor._make(data, (self,), backward)
+        if _TRACE is not None:
+            _TRACE.record("tanh", (self,), (out,))
+        return out
 
     def sigmoid(self):
         # Piecewise-stable logistic: never exponentiates a positive
         # argument, so extreme inputs cannot overflow.
         x = self.data
-        positive = x >= 0
-        exp_neg_abs = np.exp(-np.abs(x))
-        data = np.where(
-            positive, 1.0 / (1.0 + exp_neg_abs), exp_neg_abs / (1.0 + exp_neg_abs)
-        ).astype(x.dtype, copy=False)
+        with op_span("tensor.sigmoid"):
+            positive = x >= 0
+            exp_neg_abs = np.exp(-np.abs(x))
+            data = np.where(
+                positive, 1.0 / (1.0 + exp_neg_abs), exp_neg_abs / (1.0 + exp_neg_abs)
+            ).astype(x.dtype, copy=False)
 
         def backward(grad):
-            self._accumulate(grad * data * (1.0 - data), donate=True)
+            with op_span("tensor.sigmoid.backward"):
+                self._accumulate(grad * data * (1.0 - data), donate=True)
 
-        return Tensor._make(data, (self,), backward)
+        out = Tensor._make(data, (self,), backward)
+        if _TRACE is not None:
+            _TRACE.record("sigmoid", (self,), (out,))
+        return out
 
     def relu(self):
         mask = self.data > 0
@@ -523,7 +594,10 @@ class Tensor:
         def backward(grad):
             self._accumulate(grad * mask, donate=True)
 
-        return Tensor._make(data, (self,), backward)
+        out = Tensor._make(data, (self,), backward)
+        if _TRACE is not None:
+            _TRACE.record("relu", (self,), (out,))
+        return out
 
     def clip(self, low, high):
         data = np.clip(self.data, low, high)
@@ -538,15 +612,24 @@ class Tensor:
     # Reductions
     # ------------------------------------------------------------------
     def sum(self, axis=None, keepdims: bool = False):
-        data = self.data.sum(axis=axis, keepdims=keepdims)
+        with op_span("tensor.sum"):
+            data = self.data.sum(axis=axis, keepdims=keepdims)
 
         def backward(grad):
-            g = grad
-            if axis is not None and not keepdims:
-                g = np.expand_dims(g, axis)
-            self._accumulate(np.broadcast_to(g, self.shape).copy(), donate=True)
+            with op_span("tensor.sum.backward"):
+                g = grad
+                if axis is not None and not keepdims:
+                    g = np.expand_dims(g, axis)
+                self._accumulate(
+                    np.broadcast_to(g, self.shape).copy(), donate=True
+                )
 
-        return Tensor._make(data, (self,), backward)
+        out = Tensor._make(data, (self,), backward)
+        if _TRACE is not None:
+            _TRACE.record(
+                "sum", (self,), (out,), {"axis": axis, "keepdims": keepdims}
+            )
+        return out
 
     def mean(self, axis=None, keepdims: bool = False):
         if axis is None:
@@ -592,7 +675,10 @@ class Tensor:
         def backward(grad):
             self._accumulate(grad.reshape(original))
 
-        return Tensor._make(data, (self,), backward)
+        out = Tensor._make(data, (self,), backward)
+        if _TRACE is not None:
+            _TRACE.record("reshape", (self,), (out,))
+        return out
 
     def flatten(self, start_axis: int = 0):
         new_shape = self.shape[:start_axis] + (-1,)
@@ -609,7 +695,10 @@ class Tensor:
         def backward(grad):
             self._accumulate(grad.transpose(inverse))
 
-        return Tensor._make(data, (self,), backward)
+        out = Tensor._make(data, (self,), backward)
+        if _TRACE is not None:
+            _TRACE.record("transpose", (self,), (out,), {"axes": axes})
+        return out
 
     @property
     def T(self):
@@ -626,7 +715,10 @@ class Tensor:
         def backward(grad):
             self._accumulate(np.squeeze(grad, axis=axis))
 
-        return Tensor._make(data, (self,), backward)
+        out = Tensor._make(data, (self,), backward)
+        if _TRACE is not None:
+            _TRACE.record("expand_dims", (self,), (out,), {"axis": axis})
+        return out
 
     def squeeze(self, axis: int):
         data = np.squeeze(self.data, axis=axis)
@@ -634,7 +726,10 @@ class Tensor:
         def backward(grad):
             self._accumulate(np.expand_dims(grad, axis))
 
-        return Tensor._make(data, (self,), backward)
+        out = Tensor._make(data, (self,), backward)
+        if _TRACE is not None:
+            _TRACE.record("squeeze", (self,), (out,), {"axis": axis})
+        return out
 
     def __getitem__(self, key):
         if isinstance(key, Tensor):
@@ -654,7 +749,16 @@ class Tensor:
                 np.add.at(full, key, grad)
             self._accumulate(full, donate=True)
 
-        return Tensor._make(data, (self,), backward)
+        out = Tensor._make(data, (self,), backward)
+        if _TRACE is not None:
+            if basic:
+                _TRACE.record("getitem", (self,), (out,), {"key": key})
+            else:
+                # Fancy index arrays may be data-dependent (gathers):
+                # baking them into a trace could silently replay stale
+                # indices, so refuse instead.
+                _TRACE.abort("fancy indexing inside the traced region")
+        return out
 
     def pad2d(self, pad_h: int, pad_w: int, value: float = 0.0):
         """Pad the last two axes symmetrically (NCHW convention)."""
@@ -668,7 +772,15 @@ class Tensor:
             sl = (Ellipsis, slice(pad_h, pad_h + h), slice(pad_w, pad_w + w))
             self._accumulate(grad[sl])
 
-        return Tensor._make(data, (self,), backward)
+        out = Tensor._make(data, (self,), backward)
+        if _TRACE is not None:
+            _TRACE.record(
+                "pad2d",
+                (self,),
+                (out,),
+                {"pad_h": pad_h, "pad_w": pad_w, "value": value},
+            )
+        return out
 
 
 # ----------------------------------------------------------------------
@@ -680,24 +792,41 @@ def tensor(data, requires_grad: bool = False, dtype=None) -> Tensor:
 
 
 def zeros(shape, requires_grad: bool = False, dtype=np.float32) -> Tensor:
-    return Tensor(np.zeros(shape, dtype=dtype), requires_grad=requires_grad)
+    out = Tensor(np.zeros(shape, dtype=dtype), requires_grad=requires_grad)
+    if _TRACE is not None and not requires_grad:
+        # Value depends only on shape, which the trace signature
+        # guards, so the array is safe to bake into the program
+        # (recurrent init_state zeros enter traces this way).
+        _TRACE.register_const(out)
+    return out
 
 
 def ones(shape, requires_grad: bool = False, dtype=np.float32) -> Tensor:
-    return Tensor(np.ones(shape, dtype=dtype), requires_grad=requires_grad)
+    out = Tensor(np.ones(shape, dtype=dtype), requires_grad=requires_grad)
+    if _TRACE is not None and not requires_grad:
+        _TRACE.register_const(out)
+    return out
 
 
 def full(shape, value, requires_grad: bool = False, dtype=np.float32) -> Tensor:
-    return Tensor(np.full(shape, value, dtype=dtype), requires_grad=requires_grad)
+    out = Tensor(np.full(shape, value, dtype=dtype), requires_grad=requires_grad)
+    if _TRACE is not None and not requires_grad:
+        _TRACE.register_const(out)
+    return out
 
 
 def arange(*args, dtype=np.float32) -> Tensor:
-    return Tensor(np.arange(*args, dtype=dtype))
+    out = Tensor(np.arange(*args, dtype=dtype))
+    if _TRACE is not None:
+        _TRACE.register_const(out)
+    return out
 
 
 def randn(shape, rng=None, requires_grad: bool = False) -> Tensor:
     from repro.utils.rng import default_rng
 
+    if _TRACE is not None:
+        _TRACE.abort("randn() inside the traced region (RNG-dependent)")
     gen = default_rng(rng)
     return Tensor(
         gen.standard_normal(shape).astype(np.float32),
@@ -708,6 +837,8 @@ def randn(shape, rng=None, requires_grad: bool = False) -> Tensor:
 def rand(shape, rng=None, requires_grad: bool = False) -> Tensor:
     from repro.utils.rng import default_rng
 
+    if _TRACE is not None:
+        _TRACE.abort("rand() inside the traced region (RNG-dependent)")
     gen = default_rng(rng)
     return Tensor(
         gen.random(shape).astype(np.float32), requires_grad=requires_grad
@@ -728,7 +859,10 @@ def concatenate(tensors, axis: int = 0) -> Tensor:
                 sl[axis] = slice(start, stop)
                 t._accumulate(grad[tuple(sl)])
 
-    return Tensor._make(data, tuple(tensors), backward)
+    out = Tensor._make(data, tuple(tensors), backward)
+    if _TRACE is not None:
+        _TRACE.record("concatenate", tuple(tensors), (out,), {"axis": axis})
+    return out
 
 
 def stack(tensors, axis: int = 0) -> Tensor:
@@ -742,7 +876,10 @@ def stack(tensors, axis: int = 0) -> Tensor:
             if t.requires_grad:
                 t._accumulate(g)
 
-    return Tensor._make(data, tuple(tensors), backward)
+    out = Tensor._make(data, tuple(tensors), backward)
+    if _TRACE is not None:
+        _TRACE.record("stack", tuple(tensors), (out,), {"axis": axis})
+    return out
 
 
 def where(condition, a, b) -> Tensor:

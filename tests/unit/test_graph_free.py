@@ -125,6 +125,8 @@ class TestArrayPool:
         assert len(pool) == 0
         assert pool.stats() == {
             "arrays": 0, "bytes": 0, "hits": 0, "misses": 0, "rejects": 0,
+            "hit_rate": 0.0, "reject_alias": 0, "reject_bytes": 0,
+            "reject_per_key": 0, "high_water": {}, "high_water_max": 0,
         }
 
     def test_dtype_keyed(self):

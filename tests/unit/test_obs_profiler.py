@@ -288,8 +288,10 @@ Sequential.4                       Linear                      1      #.###     
 ops_conv.conv2d                    ops_conv.conv2d             1      #.###      #.###              0          0         2048
 ops_conv.max_pool2d                ops_conv.max_pool2d         1      #.###      #.###              0          0          512
 ops_fused.linear                   ops_fused.linear            1      #.###      #.###              0          0           48
+tensor.mul                         tensor.mul                  1      #.###      #.###              0          0            0
+tensor.sum                         tensor.sum                  1      #.###      #.###              0          0            0
 -----------------------------------------------------------------------------------------------------------------------------
-total FLOPs 10820 · param bytes 116 · rows 9"""
+total FLOPs 10820 · param bytes 116 · rows 11"""
 
 
 def mask_times(table: str) -> str:
