@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Repo health check, seven gates:
+# Repo health check, eight gates:
 #   1. lint: ruff check (config in pyproject.toml); skipped with a
 #      note when ruff is not installed in the environment
 #   2. tier-1: the full test suite (what the roadmap pins)
@@ -10,13 +10,18 @@
 #   5. traced lane: the training + trace suites again under a forced
 #      REPRO_TRACE=1, so every Trainer.fit in those tests runs through
 #      the trace record/replay path instead of pure eager
-#   6. bench smoke: benchmarks/run_quick.py runs to completion and
+#   6. obs-export lane: the unit suite again under REPRO_OBS_EXPORT=1,
+#      so every test runs with the background telemetry flusher live
+#      (exercises the exporter racing real workloads)
+#   7. bench smoke: benchmarks/run_quick.py runs to completion and
 #      regenerates BENCH_engine.json (incl. per-operator breakdown)
-#   7. bench diff: the fresh BENCH_engine.json must not regress the
+#   8. bench diff: the fresh BENCH_engine.json must not regress the
 #      watched keys (obs overhead, join speedup, ConvLSTM epoch time,
 #      peak activation bytes, compiled-stage speedup, 2-thread morsel
 #      scaling, spill peak bytes + slowdown, traced-step speedup +
-#      capture overhead) >25% vs the committed one
+#      capture overhead, telemetry-runtime overhead) >25% vs the
+#      committed one, and obs_runtime_overhead_ratio must stay under
+#      an absolute 1.10 cap
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
@@ -47,6 +52,12 @@ REPRO_TRACE=1 python -m pytest -q \
     tests/unit/test_training.py \
     tests/unit/test_trace.py \
     tests/property/test_property_trace.py
+
+echo "== obs-export lane: background flusher live =="
+obs_export_dir="$(mktemp -d)"
+REPRO_OBS_EXPORT=1 REPRO_OBS_EXPORT_DIR="$obs_export_dir" \
+    python -m pytest tests/unit -q -m "not slow"
+rm -rf "$obs_export_dir"
 
 echo "== bench smoke: run_quick =="
 baseline="$(mktemp)"

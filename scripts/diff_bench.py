@@ -28,11 +28,17 @@ regenerating BENCH_engine.json):
   trace-replayed step; lower is worse.
 - ``trace_capture_overhead_ratio`` — the one-off record+compile step
   over a steady-state eager step; higher is worse.
+- ``obs_runtime_overhead_ratio`` — fused-pipeline drain with the
+  background telemetry flusher live (50ms interval) over the same
+  drain without it; higher is worse.  Also capped **absolutely** at
+  1.10 (the runtime must cost < 10% regardless of what the committed
+  baseline says).
 
 A key regresses when it moves more than ``TOLERANCE`` (25%) in its bad
-direction.  Missing keys in the baseline (older file layouts) are
-skipped with a note rather than failed, so the gate stays usable
-across layout changes.
+direction.  ``ABS_LIMITS`` keys additionally fail when the fresh value
+exceeds the absolute cap, baseline or no baseline.  Missing keys in
+the baseline (older file layouts) are skipped with a note rather than
+failed, so the gate stays usable across layout changes.
 """
 
 from __future__ import annotations
@@ -54,6 +60,13 @@ WATCHED = {
     "spill_slowdown": "lower",
     "traced_step_speedup": "higher",
     "trace_capture_overhead_ratio": "lower",
+    "obs_runtime_overhead_ratio": "lower",
+}
+
+#: key -> hard ceiling on the *fresh* value, independent of baseline
+#: drift — a ratcheting baseline must never launder an absolute bar.
+ABS_LIMITS = {
+    "obs_runtime_overhead_ratio": 1.10,
 }
 
 
@@ -67,6 +80,14 @@ def main(argv: list[str]) -> int:
         fresh = json.load(handle)
 
     failures = []
+    for key, limit in ABS_LIMITS.items():
+        if key not in fresh:
+            continue  # handled (or skipped) by the relative gate below
+        value = float(fresh[key])
+        if value > limit:
+            failures.append(f"{key}: {value:.4f} exceeds absolute cap {limit}")
+        else:
+            print(f"diff_bench: {key}: fresh={value:.4f} <= cap {limit} ok")
     for key, direction in WATCHED.items():
         if key not in baseline:
             print(f"diff_bench: {key}: not in baseline, skipping")

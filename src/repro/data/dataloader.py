@@ -2,7 +2,7 @@
 
 Each yielded batch is metered (``dataloader.batches`` /
 ``dataloader.samples`` counters and a ``dataloader.batch_fetch_seconds``
-histogram, mirroring the converter's ``converter.*`` naming) so
+windowed histogram, mirroring the converter's ``converter.*`` naming) so
 profiles can tell a data-bound epoch from a compute-bound one; when a
 :class:`~repro.obs.profiler.Profiler` is active, every fetch also
 records a ``dataloader.fetch`` event on the profiler timeline.
@@ -76,13 +76,21 @@ class DataLoader:
             metered = obs.enabled()
             if metered:
                 fetch_started = time.perf_counter()
-            with op_span("dataloader.fetch", kind="data"):
-                batch = self.collate_fn([self.dataset[int(i)] for i in idx])
+            # The tracer span carries the fetch into the active trace
+            # (e.g. under trainer.epoch), alongside the profiler event.
+            with obs.tracer.span("dataloader.batch") as tspan:
+                with op_span("dataloader.fetch", kind="data"):
+                    batch = self.collate_fn(
+                        [self.dataset[int(i)] for i in idx]
+                    )
+                tspan.add("samples", len(idx))
             if metered:
                 elapsed = time.perf_counter() - fetch_started
                 obs.registry.counter("dataloader.batches").inc()
                 obs.registry.counter("dataloader.samples").inc(len(idx))
-                obs.registry.histogram(
+                # Latency-class metric: windowed log-bucket histogram
+                # (exact-rank tail quantiles over the recent window).
+                obs.registry.windowed_histogram(
                     "dataloader.batch_fetch_seconds"
                 ).observe(elapsed)
             yield batch

@@ -234,7 +234,27 @@ def _morsel_map(fn, parts, ctx: _ExecContext):
     """Ordered, bounded fan-out: submit up to ``queue_depth`` morsels,
     yield strictly in submission order.  FIFO completion keeps results
     bit-identical to serial execution; the bound keeps at most
-    O(parallelism + queue_depth) partitions resident."""
+    O(parallelism + queue_depth) partitions resident.
+
+    Trace context crosses the fan-out: the driver's current span is
+    captured here and passed as the explicit parent of each
+    worker-side ``engine.morsel`` span, so a parallel query still
+    yields one connected span tree (the morsel spans land under the
+    driver's ``engine.query`` span even though they time on
+    ``repro-morsel-*`` threads)."""
+    from repro import obs
+
+    tracer = obs.tracer
+    parent = tracer.current if tracer.enabled else None
+    if parent is not None:
+        inner = fn
+
+        def fn(part, _inner=inner, _parent=parent):
+            with tracer.span("engine.morsel", parent=_parent) as span:
+                out = _inner(part)
+                span.add("rows", out.num_rows)
+                return out
+
     pool = ctx.pool()
     pending: deque = deque()
     try:

@@ -90,9 +90,20 @@ class Session:
         self.spill_dir = spill_dir
         self._spill_manager = None
         # Most recent metered execution (set by DataFrame actions when
-        # repro.obs is enabled): the executed plan and its PlanStats.
+        # repro.obs is enabled): the executed plan, its PlanStats, the
+        # query id the session assigned, and the finished query span.
         self.last_plan = None
         self.last_plan_stats = None
+        self.last_query_id = None
+        self.last_query_span = None
+        self._query_seq = 0
+
+    def next_query_id(self) -> int:
+        """Assign the next query id (1-based, unique per session).
+        Every metered execution gets one; it tags the ``engine.query``
+        span and names the profile artifact a query emits."""
+        self._query_seq += 1
+        return self._query_seq
 
     # ------------------------------------------------------------------
     # Spill lifecycle

@@ -50,9 +50,37 @@ import numpy as np
 from repro.engine.partition import Partition
 
 
+def _tracer():
+    from repro import obs
+
+    return obs.tracer
+
+
 class SpillError(RuntimeError):
     """A spill write or restore failed (disk full, corrupted or
     truncated spill file, unexpected on-disk contents)."""
+
+
+#: Every live SpillManager, so the telemetry resource sampler can sum
+#: process-wide spill totals each tick without owning the sessions.
+_LIVE_MANAGERS: "weakref.WeakSet[SpillManager]" = weakref.WeakSet()
+
+
+def live_spill_totals() -> dict:
+    """Aggregate counters across all live spill managers (gauges
+    published as ``engine.spill.*`` by the resource sampler)."""
+    totals = {
+        "live_managers": 0,
+        "live_bytes_written": 0,
+        "live_bytes_restored": 0,
+        "live_partitions": 0,
+    }
+    for manager in list(_LIVE_MANAGERS):
+        totals["live_managers"] += 1
+        totals["live_bytes_written"] += manager.bytes_written
+        totals["live_bytes_restored"] += manager.bytes_restored
+        totals["live_partitions"] += manager.partitions_spilled
+    return totals
 
 
 class SpillHandle:
@@ -98,6 +126,7 @@ class SpillManager:
         self.bytes_restored = 0
         self.spill_seconds = 0.0
         self.restore_seconds = 0.0
+        _LIVE_MANAGERS.add(self)
 
     # ------------------------------------------------------------------
     # Directory lifecycle
@@ -143,36 +172,42 @@ class SpillManager:
         :class:`SpillError` is raised; the manager stays usable.
         """
         started = time.perf_counter()
-        root = self._ensure_dir()
-        with self._lock:
-            seq = self._seq
-            self._seq += 1
-        pdir = os.path.join(root, f"p{seq:06d}")
-        meta: list = []
-        written = 0
-        files = 0
-        try:
-            os.mkdir(pdir)
-            for i, (name, arr) in enumerate(part.columns.items()):
-                if arr.dtype == object:
-                    fpath = os.path.join(pdir, f"c{i}.pkl")
-                    with open(fpath, "wb") as handle:
-                        pickle.dump(
-                            arr, handle, protocol=pickle.HIGHEST_PROTOCOL
-                        )
-                    meta.append((name, "pkl", arr.dtype))
-                else:
-                    fpath = os.path.join(pdir, f"c{i}.npy")
-                    with open(fpath, "wb") as handle:
-                        np.save(handle, arr, allow_pickle=False)
-                    meta.append((name, "npy", arr.dtype))
-                written += os.path.getsize(fpath)
-                files += 1
-        except Exception as exc:
-            shutil.rmtree(pdir, ignore_errors=True)
-            raise SpillError(
-                f"failed to spill partition to {pdir}: {exc}"
-            ) from exc
+        # Spill I/O is part of the query's trace: the span nests under
+        # whatever is open on the calling thread (normally the
+        # engine.query span on the driver).
+        with _tracer().span("engine.spill.write") as span:
+            root = self._ensure_dir()
+            with self._lock:
+                seq = self._seq
+                self._seq += 1
+            pdir = os.path.join(root, f"p{seq:06d}")
+            meta: list = []
+            written = 0
+            files = 0
+            try:
+                os.mkdir(pdir)
+                for i, (name, arr) in enumerate(part.columns.items()):
+                    if arr.dtype == object:
+                        fpath = os.path.join(pdir, f"c{i}.pkl")
+                        with open(fpath, "wb") as handle:
+                            pickle.dump(
+                                arr, handle, protocol=pickle.HIGHEST_PROTOCOL
+                            )
+                        meta.append((name, "pkl", arr.dtype))
+                    else:
+                        fpath = os.path.join(pdir, f"c{i}.npy")
+                        with open(fpath, "wb") as handle:
+                            np.save(handle, arr, allow_pickle=False)
+                        meta.append((name, "npy", arr.dtype))
+                    written += os.path.getsize(fpath)
+                    files += 1
+            except Exception as exc:
+                shutil.rmtree(pdir, ignore_errors=True)
+                raise SpillError(
+                    f"failed to spill partition to {pdir}: {exc}"
+                ) from exc
+            span.add("bytes", written)
+            span.add("rows", part.num_rows)
         elapsed = time.perf_counter() - started
         with self._lock:
             self.partitions_spilled += 1
@@ -191,33 +226,36 @@ class SpillManager:
         :meth:`release`."""
         started = time.perf_counter()
         columns: dict = {}
-        for i, (name, kind, dtype) in enumerate(handle.columns):
-            fpath = os.path.join(handle.path, f"c{i}.{kind}")
-            try:
-                if kind == "pkl":
-                    with open(fpath, "rb") as fh:
-                        arr = pickle.load(fh)
-                else:
-                    arr = np.load(fpath, allow_pickle=False)
-            except SpillError:
-                raise
-            except Exception as exc:
-                raise SpillError(
-                    f"failed to restore spilled column {name!r} "
-                    f"from {fpath}: {exc}"
-                ) from exc
-            if not isinstance(arr, np.ndarray) or arr.dtype != dtype:
-                raise SpillError(
-                    f"spill file {fpath} holds "
-                    f"{getattr(arr, 'dtype', type(arr))}, "
-                    f"expected {dtype} (corrupted spill?)"
-                )
-            if len(arr) != handle.num_rows:
-                raise SpillError(
-                    f"spill file {fpath} holds {len(arr)} rows, "
-                    f"expected {handle.num_rows} (truncated spill?)"
-                )
-            columns[name] = arr
+        with _tracer().span("engine.spill.read") as span:
+            for i, (name, kind, dtype) in enumerate(handle.columns):
+                fpath = os.path.join(handle.path, f"c{i}.{kind}")
+                try:
+                    if kind == "pkl":
+                        with open(fpath, "rb") as fh:
+                            arr = pickle.load(fh)
+                    else:
+                        arr = np.load(fpath, allow_pickle=False)
+                except SpillError:
+                    raise
+                except Exception as exc:
+                    raise SpillError(
+                        f"failed to restore spilled column {name!r} "
+                        f"from {fpath}: {exc}"
+                    ) from exc
+                if not isinstance(arr, np.ndarray) or arr.dtype != dtype:
+                    raise SpillError(
+                        f"spill file {fpath} holds "
+                        f"{getattr(arr, 'dtype', type(arr))}, "
+                        f"expected {dtype} (corrupted spill?)"
+                    )
+                if len(arr) != handle.num_rows:
+                    raise SpillError(
+                        f"spill file {fpath} holds {len(arr)} rows, "
+                        f"expected {handle.num_rows} (truncated spill?)"
+                    )
+                columns[name] = arr
+            span.add("bytes", handle.nbytes)
+            span.add("rows", handle.num_rows)
         elapsed = time.perf_counter() - started
         with self._lock:
             self.bytes_restored += handle.nbytes

@@ -26,9 +26,30 @@ from __future__ import annotations
 
 import json
 import os
+import re
 import tempfile
+import time
 
 SCHEMA_VERSION = 1
+
+
+def atomic_write_text(path: str, text: str) -> None:
+    """Write ``text`` to ``path`` atomically (temp file + ``os.replace``
+    in the same directory) — readers never see a truncated file."""
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=".tmp-" + os.path.basename(path) + "-"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
 
 
 def atomic_write_json(path: str, payload, indent: int = 2, sort_keys: bool = True) -> None:
@@ -96,58 +117,130 @@ def operator_breakdown(registry=None) -> dict:
     return {op: dict(sorted(fields.items())) for op, fields in sorted(out.items())}
 
 
+_PROM_BAD = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str) -> str:
+    return "repro_" + _PROM_BAD.sub("_", name)
+
+
+def _prom_value(value) -> str:
+    if value is None:
+        return "NaN"
+    return repr(float(value))
+
+
+def to_prometheus(registry=None) -> str:
+    """Render the registry in Prometheus text exposition format.
+
+    Counters become ``repro_<name>_total``, gauges ``repro_<name>``,
+    and both histogram kinds become summaries (``{quantile="..."}``
+    series plus ``_count``/``_sum``); metric names are sanitized to
+    ``[a-zA-Z0-9_:]``.  Scrape-ready output for the file written each
+    tick by :class:`repro.obs.runtime.TelemetryRuntime`.
+    """
+    from repro import obs
+
+    registry = registry if registry is not None else obs.registry
+    snap = registry.snapshot()
+    lines: list[str] = []
+    for name, value in snap["counters"].items():
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom}_total counter")
+        lines.append(f"{prom}_total {_prom_value(value)}")
+    for name, value in snap["gauges"].items():
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} gauge")
+        lines.append(f"{prom} {_prom_value(value)}")
+    quantile_keys = (("0.5", "p50"), ("0.9", "p90"), ("0.95", "p95"), ("0.99", "p99"))
+    for section in ("histograms", "windowed"):
+        for name, summary in snap.get(section, {}).items():
+            prom = _prom_name(name)
+            lines.append(f"# TYPE {prom} summary")
+            for quantile, key in quantile_keys:
+                if key in summary:
+                    lines.append(
+                        f'{prom}{{quantile="{quantile}"}} '
+                        f"{_prom_value(summary[key])}"
+                    )
+            lines.append(f"{prom}_count {_prom_value(summary['count'])}")
+            lines.append(f"{prom}_sum {_prom_value(summary['sum'])}")
+    return "\n".join(lines) + "\n"
+
+
 #: Virtual thread ids in the Chrome trace: profiler events on one
-#: lane, tracer spans on another, so chrome://tracing / Perfetto draw
-#: them as two stacked flame graphs of the same run.
+#: lane, spans from the first-seen (driver) thread on another, and
+#: each further real thread (morsel workers, the telemetry flusher)
+#: on its own lane — chrome://tracing / Perfetto draw them as stacked
+#: flame graphs of the same run.
 PROFILER_TID = 0
 TRACER_TID = 1
 
 
-def _span_to_trace_events(span, pid: int, events: list) -> None:
+def _trace_tid(span, tids: dict, events: list, pid: int) -> int:
+    """Map a span's real thread id onto a stable virtual lane,
+    emitting a ``thread_name`` metadata event the first time a lane
+    appears."""
+    tid = tids.get(span.thread_id)
+    if tid is None:
+        tid = TRACER_TID + len(tids)
+        tids[span.thread_id] = tid
+        label = "tracer (spans)" if tid == TRACER_TID else (
+            f"tracer ({span.thread_name})"
+        )
+        events.append(
+            {"name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+             "args": {"name": label}}
+        )
+    return tid
+
+
+def _span_to_trace_events(
+    span, pid: int, events: list, tids: dict, *, now_s: float | None = None
+) -> None:
+    open_span = now_s is not None
     event = {
         "name": span.name,
         "cat": "tracer",
         "ph": "X",
         "ts": span.start_s * 1e6,
-        "dur": span.elapsed_s * 1e6,
+        "dur": ((now_s - span.start_s) if open_span else span.elapsed_s) * 1e6,
         "pid": pid,
-        "tid": TRACER_TID,
+        "tid": _trace_tid(span, tids, events, pid),
     }
-    args = {}
+    args = {"span_id": span.span_id}
+    if span.parent is not None:
+        args["parent_id"] = span.parent.span_id
+    if open_span:
+        args["open"] = True
     if span.counters:
         args.update(span.counters)
     if span.attrs:
         args.update(span.attrs)
-    if args:
-        event["args"] = args
+    event["args"] = args
     events.append(event)
-    for child in span.children:
-        _span_to_trace_events(child, pid, events)
+    # Children of an open span are already-finished subtrees; open
+    # descendants are not in .children (they attach only on exit) and
+    # are exported separately via Tracer.open_spans().
+    for child in list(span.children):
+        _span_to_trace_events(child, pid, events, tids)
 
 
-def to_chrome_trace(path: str | None = None, *, tracer=None, profiler=None) -> dict:
-    """Render tracer spans and profiler events as Chrome Trace Event
-    Format JSON (open in ``chrome://tracing`` or Perfetto).
-
-    Every timed entry is a complete event (``"ph": "X"``) carrying
-    ``name``/``ph``/``ts``/``dur``/``pid``/``tid``; timestamps are
-    microseconds on the ``perf_counter`` timebase.  ``tracer`` defaults
-    to the process-wide :data:`repro.obs.tracer`; pass a
-    :class:`~repro.obs.profiler.Profiler` to interleave its module/op
-    events.  When ``path`` is given the JSON is also written there
-    atomically.
-    """
-    from repro import obs
-
-    tracer = tracer if tracer is not None else obs.tracer
+def chrome_trace_for_spans(
+    spans, *, profiler=None, open_spans=(), path: str | None = None
+) -> dict:
+    """Chrome Trace Event Format dict for an explicit span iterable
+    (each exported with its full subtree).  Spans from different
+    threads land on distinct ``tid`` lanes named after the thread, and
+    every event carries ``span_id``/``parent_id`` args so parentage
+    survives across lanes.  ``open_spans`` are drawn with their
+    duration extended to now and an ``"open": true`` arg."""
     pid = os.getpid()
     events: list[dict] = [
         {"name": "process_name", "ph": "M", "pid": pid, "tid": PROFILER_TID,
          "args": {"name": "repro"}},
         {"name": "thread_name", "ph": "M", "pid": pid, "tid": PROFILER_TID,
          "args": {"name": "profiler (modules + kernels)"}},
-        {"name": "thread_name", "ph": "M", "pid": pid, "tid": TRACER_TID,
-         "args": {"name": "tracer (spans)"}},
     ]
     if profiler is not None:
         for event in profiler.events:
@@ -169,9 +262,40 @@ def to_chrome_trace(path: str | None = None, *, tracer=None, profiler=None) -> d
                     },
                 }
             )
-    for span in tracer.roots:
-        _span_to_trace_events(span, pid, events)
+    tids: dict[int, int] = {}
+    for span in spans:
+        _span_to_trace_events(span, pid, events, tids)
+    if open_spans:
+        now_s = time.perf_counter()
+        for span in open_spans:
+            _span_to_trace_events(span, pid, events, tids, now_s=now_s)
     trace = {"traceEvents": events, "displayTimeUnit": "ms"}
     if path is not None:
         atomic_write_json(path, trace, sort_keys=False)
     return trace
+
+
+def to_chrome_trace(
+    path: str | None = None, *, tracer=None, profiler=None,
+    include_open: bool = True,
+) -> dict:
+    """Render tracer spans and profiler events as Chrome Trace Event
+    Format JSON (open in ``chrome://tracing`` or Perfetto).
+
+    Every timed entry is a complete event (``"ph": "X"``) carrying
+    ``name``/``ph``/``ts``/``dur``/``pid``/``tid``; timestamps are
+    microseconds on the ``perf_counter`` timebase.  ``tracer`` defaults
+    to the process-wide :data:`repro.obs.tracer`; pass a
+    :class:`~repro.obs.profiler.Profiler` to interleave its module/op
+    events.  Spans still open at export time are included (duration
+    extended to now, ``"open": true`` in args) unless
+    ``include_open=False``.  When ``path`` is given the JSON is also
+    written there atomically.
+    """
+    from repro import obs
+
+    tracer = tracer if tracer is not None else obs.tracer
+    open_spans = tracer.open_spans() if include_open else ()
+    return chrome_trace_for_spans(
+        list(tracer.roots), profiler=profiler, open_spans=open_spans, path=path
+    )

@@ -143,6 +143,29 @@ class PlanStats:
             lines.append(self.render(child, indent + 1))
         return "\n".join(lines)
 
+    def to_dict(self, plan_node) -> dict:
+        """Recursive JSON-serializable form of the annotated tree (the
+        ``operators`` section of a query-profile artifact).  Field
+        names mirror :meth:`render`; a node that was never pulled gets
+        ``"executed": false``."""
+        out: dict = {"operator": plan_node._label()}
+        stats = self._by_id.get(id(plan_node))
+        if stats is None:
+            out["executed"] = False
+        else:
+            out["rows_out"] = stats.rows_out
+            out["partitions"] = stats.partitions
+            out["elapsed_s"] = stats.elapsed_s
+            out["peak_partition_bytes"] = stats.peak_partition_bytes
+            if stats.work_s > 0:
+                out["work_s"] = stats.work_s
+            if stats.spilled_bytes > 0:
+                out["spilled_bytes"] = stats.spilled_bytes
+        children = [self.to_dict(c) for c in getattr(plan_node, "children", ())]
+        if children:
+            out["children"] = children
+        return out
+
     # ------------------------------------------------------------------
     # Registry flush
     # ------------------------------------------------------------------

@@ -1,0 +1,265 @@
+"""Continuous telemetry runtime: a background flusher for the obs layer.
+
+:class:`TelemetryRuntime` owns a daemon thread that wakes every
+``interval_s`` seconds and exports the current observability state
+into a directory:
+
+- ``events.jsonl`` — append-only event log: one compact JSON line per
+  flush carrying counter *deltas* since the previous flush (plus gauge
+  values), and one line per newly finished root span.
+- ``metrics.prom`` — Prometheus text exposition of the full registry,
+  rewritten atomically each tick (point a file-based scraper at it).
+- ``metrics.json`` — the full :func:`repro.obs.export.snapshot`,
+  rewritten atomically each tick.
+- ``trace-<seq>.json`` — rolling Chrome-trace segments holding only
+  the root spans finished since the previous segment; the newest
+  ``max_trace_segments`` are kept, older segments are deleted.
+
+Every file write goes through the atomic temp-file + ``os.replace``
+writers in :mod:`repro.obs.export`, so readers never observe a
+truncated file; the JSONL log is append-only with whole lines written
+per flush.
+
+A flush is generation-checked against
+:attr:`MetricsRegistry.generation`: if a concurrent ``reset()`` /
+``clear()`` starts or completes while the snapshot is being taken, the
+flush is discarded (counted in :attr:`skipped_flushes`) and the delta
+baseline re-bases, so a racing reset can never produce negative,
+partial, or duplicated event lines.
+
+The runtime also runs a :class:`repro.obs.sampler.ResourceSampler`
+each tick, keeping RSS / GC / ``tensor.pool.*`` / ``engine.spill.*``
+gauges continuously fresh.
+
+Set ``REPRO_OBS_EXPORT=1`` to start a process-wide runtime at import
+time (see :func:`repro.obs.start_runtime`).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from collections import deque
+
+from repro.obs.export import (
+    atomic_write_text,
+    chrome_trace_for_spans,
+    snapshot as export_snapshot,
+    to_prometheus,
+)
+from repro.obs.sampler import ResourceSampler
+
+EVENTS_FILE = "events.jsonl"
+PROM_FILE = "metrics.prom"
+METRICS_FILE = "metrics.json"
+TRACE_PREFIX = "trace-"
+
+
+class TelemetryRuntime:
+    """Background exporter for the process-wide observability state.
+
+    Usable as a context manager (``with TelemetryRuntime(d) as rt:``)
+    or via explicit :meth:`start` / :meth:`stop`; both are idempotent
+    and the runtime can be restarted after a stop.  :meth:`stop` runs
+    one final flush so short-lived runs still leave complete files.
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        interval_s: float = 1.0,
+        *,
+        registry=None,
+        tracer=None,
+        sampler: ResourceSampler | None = None,
+        max_trace_segments: int = 8,
+    ):
+        self.directory = directory
+        self.interval_s = float(interval_s)
+        self.max_trace_segments = int(max_trace_segments)
+        self._registry = registry
+        self._tracer = tracer
+        self._sampler = sampler
+        self._stop_event = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._flush_lock = threading.Lock()
+        self._last_counters: dict[str, float] = {}
+        self._last_generation: int | None = None
+        self._last_root_seq = 0
+        self._trace_segments: deque[str] = deque()
+        self._trace_seq = 0
+        self.flush_count = 0
+        self.skipped_flushes = 0
+
+    # -- lazy process-wide defaults (avoids an import cycle with repro.obs)
+    @property
+    def registry(self):
+        if self._registry is None:
+            from repro import obs
+
+            self._registry = obs.registry
+        return self._registry
+
+    @property
+    def tracer(self):
+        if self._tracer is None:
+            from repro import obs
+
+            self._tracer = obs.tracer
+        return self._tracer
+
+    @property
+    def sampler(self) -> ResourceSampler:
+        if self._sampler is None:
+            self._sampler = ResourceSampler(registry=self._registry)
+        return self._sampler
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> "TelemetryRuntime":
+        if self.running:
+            return self
+        os.makedirs(self.directory, exist_ok=True)
+        self._stop_event = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-telemetry", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self, final_flush: bool = True) -> None:
+        thread = self._thread
+        if thread is not None:
+            self._stop_event.set()
+            thread.join()
+            self._thread = None
+        if final_flush:
+            os.makedirs(self.directory, exist_ok=True)
+            self.flush()
+
+    def __enter__(self) -> "TelemetryRuntime":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    def _run(self) -> None:
+        while not self._stop_event.wait(self.interval_s):
+            try:
+                self.flush()
+            except Exception:
+                # The flusher must never kill itself over a transient
+                # export error (e.g. the directory vanished mid-test).
+                self.skipped_flushes += 1
+
+    # ------------------------------------------------------------------
+    # One flush
+    # ------------------------------------------------------------------
+    def flush(self) -> bool:
+        """Take one consistent export pass.  Returns ``True`` if files
+        were written, ``False`` if the pass was discarded because a
+        registry reset raced it."""
+        with self._flush_lock:
+            return self._flush_locked()
+
+    def _flush_locked(self) -> bool:
+        registry = self.registry
+        gen_before = registry.generation
+        if gen_before % 2:  # reset in progress right now
+            self.skipped_flushes += 1
+            return False
+        self.sampler.sample()
+        snap = registry.snapshot()
+        new_roots = self._drain_roots()
+        gen_after = registry.generation
+        if gen_after != gen_before:
+            # A reset landed mid-snapshot: the snapshot may mix pre-
+            # and post-reset values.  Discard it and re-base deltas so
+            # the next flush emits fresh (non-negative) lines.
+            self.skipped_flushes += 1
+            self._last_counters = {}
+            self._last_generation = gen_after
+            return False
+        if self._last_generation != gen_before:
+            # First flush, or a reset completed between flushes: the
+            # counters restarted from zero, so the old baseline would
+            # produce negative deltas.  Re-base instead.
+            self._last_counters = {}
+            self._last_generation = gen_before
+
+        counters = snap["counters"]
+        deltas = {}
+        for name, value in counters.items():
+            delta = value - self._last_counters.get(name, 0)
+            if delta:
+                deltas[name] = delta
+        self._last_counters = dict(counters)
+
+        now = time.time()
+        lines = [
+            json.dumps(
+                {
+                    "ts": now,
+                    "kind": "metrics",
+                    "generation": gen_before,
+                    "counters": deltas,
+                    "gauges": snap["gauges"],
+                },
+                sort_keys=True,
+                separators=(",", ":"),
+            )
+        ]
+        for span in new_roots:
+            lines.append(
+                json.dumps(
+                    {"ts": now, "kind": "span", "span": span.to_dict()},
+                    sort_keys=True,
+                    separators=(",", ":"),
+                )
+            )
+        with open(os.path.join(self.directory, EVENTS_FILE), "a") as handle:
+            handle.write("".join(line + "\n" for line in lines))
+
+        atomic_write_text(
+            os.path.join(self.directory, PROM_FILE), to_prometheus(registry)
+        )
+        from repro.obs.export import atomic_write_json
+
+        atomic_write_json(
+            os.path.join(self.directory, METRICS_FILE),
+            export_snapshot(registry),
+        )
+        if new_roots:
+            self._write_trace_segment(new_roots)
+        self.flush_count += 1
+        return True
+
+    def _drain_roots(self) -> list:
+        """Root spans finished since the last flush (never re-exported:
+        the tracer's root_seq is monotonic even across resets)."""
+        new = [
+            span
+            for span in list(self.tracer.roots)
+            if span.root_seq > self._last_root_seq
+        ]
+        if new:
+            self._last_root_seq = max(span.root_seq for span in new)
+        return new
+
+    def _write_trace_segment(self, spans) -> None:
+        self._trace_seq += 1
+        path = os.path.join(
+            self.directory, f"{TRACE_PREFIX}{self._trace_seq:05d}.json"
+        )
+        chrome_trace_for_spans(spans, path=path)
+        self._trace_segments.append(path)
+        while len(self._trace_segments) > self.max_trace_segments:
+            stale = self._trace_segments.popleft()
+            try:
+                os.unlink(stale)
+            except OSError:
+                pass

@@ -1,0 +1,84 @@
+"""Resource sampler: process/pool/spill/GC state as gauges.
+
+One :meth:`ResourceSampler.sample` call reads cheap process-level
+facts — resident set size, GC counters, :class:`repro.tensor.pool
+.ArrayPool` occupancy, live spill-manager totals — and publishes them
+as gauges into the metrics registry.  The
+:class:`repro.obs.runtime.TelemetryRuntime` flusher calls it every
+tick, so ``tensor.pool.*`` and ``engine.spill.*`` gauges stay current
+continuously instead of only when ``ArrayPool.stats()`` or
+``SpillManager.stats()`` happen to run.
+
+Everything here *reads* state; nothing allocates tensors or touches
+the engine, so sampling from the background flusher thread is safe.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+
+
+def _rss_bytes() -> int:
+    """Current resident set size in bytes (0 if unavailable).
+
+    ``/proc/self/statm`` field 2 is resident pages (Linux); fall back
+    to ``getrusage`` peak RSS elsewhere.
+    """
+    try:
+        with open("/proc/self/statm") as handle:
+            resident_pages = int(handle.read().split()[1])
+        return resident_pages * os.sysconf("SC_PAGE_SIZE")
+    except (OSError, ValueError, IndexError):
+        pass
+    try:
+        import resource
+
+        return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024
+    except Exception:
+        return 0
+
+
+class ResourceSampler:
+    """Publishes process resource gauges into a metrics registry."""
+
+    def __init__(self, registry=None):
+        self._registry = registry
+
+    @property
+    def registry(self):
+        if self._registry is None:
+            from repro import obs
+
+            self._registry = obs.registry
+        return self._registry
+
+    def sample(self) -> dict:
+        """Take one sample; returns the gauge name → value dict that
+        was published (useful for tests and ad-hoc inspection)."""
+        values: dict[str, float] = {}
+        values["process.rss_bytes"] = _rss_bytes()
+        gen0, gen1, gen2 = gc.get_count()
+        values["process.gc.gen0_objects"] = gen0
+        values["process.gc.gen1_objects"] = gen1
+        values["process.gc.gen2_objects"] = gen2
+        values["process.gc.collections"] = sum(
+            s.get("collections", 0) for s in gc.get_stats()
+        )
+        try:
+            from repro.tensor.pool import default_pool
+
+            values.update(default_pool().publish_gauges(self.registry))
+        except Exception:
+            pass  # tensor stack not imported / mid-teardown
+        try:
+            from repro.engine.spill import live_spill_totals
+
+            for key, value in live_spill_totals().items():
+                values[f"engine.spill.{key}"] = value
+        except Exception:
+            pass
+        registry = self.registry
+        for name, value in values.items():
+            registry.gauge(name).set(value)
+        return values

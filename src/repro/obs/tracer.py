@@ -7,13 +7,34 @@ always measure wall time when the tracer is enabled — they are the
 single timing substrate (``repro.utils.timing.Stopwatch`` delegates
 here) — and a disabled tracer hands out a shared no-op span with zero
 overhead beyond one attribute check.
+
+Trace context crosses threads.  Every span carries a process-unique
+``span_id`` plus its parent's id, and the tracer keeps one nesting
+stack *per thread*, so morsel-pool workers (``repro-morsel-*``), spill
+I/O, and DataLoader fetches each nest correctly on their own thread.
+To attach a worker-side span to a driver-side parent, capture the
+driver span (``tracer.current``) before the fan-out and pass it as
+``tracer.span(name, parent=captured)`` — the child lands in the
+parent's subtree even though it ran on another thread, so a query's
+span tree stays connected end-to-end.
 """
 
 from __future__ import annotations
 
+import itertools
+import threading
 import time
 from collections import deque
 from contextlib import contextmanager
+
+#: Process-wide span id allocator.  ``itertools.count`` is a C-level
+#: iterator, so ``next()`` is atomic under the GIL — no lock needed.
+_SPAN_IDS = itertools.count(1)
+
+#: Sentinel distinguishing "no parent requested" (inherit the calling
+#: thread's current span) from an explicit ``parent=None`` (force a
+#: new root).
+_INHERIT = object()
 
 
 class Span:
@@ -22,7 +43,8 @@ class Span:
     attached while the span was open."""
 
     __slots__ = (
-        "name", "parent", "children", "start_s", "elapsed_s", "counters", "attrs"
+        "name", "parent", "children", "start_s", "elapsed_s", "counters",
+        "attrs", "span_id", "thread_id", "thread_name", "root_seq",
     )
 
     def __init__(self, name: str, parent: "Span | None" = None):
@@ -33,6 +55,15 @@ class Span:
         self.elapsed_s = 0.0
         self.counters: dict = {}
         self.attrs: dict = {}
+        self.span_id = next(_SPAN_IDS)
+        thread = threading.current_thread()
+        self.thread_id = thread.ident or 0
+        self.thread_name = thread.name
+        self.root_seq = 0  # assigned by the tracer when retained as a root
+
+    @property
+    def parent_id(self) -> int | None:
+        return self.parent.span_id if self.parent is not None else None
 
     def add(self, counter: str, amount=1) -> None:
         """Accumulate a named counter on this span."""
@@ -42,9 +73,23 @@ class Span:
         """Attach a key/value attribute to this span."""
         self.attrs[key] = value
 
+    def walk(self):
+        """Yield this span and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
     def to_dict(self) -> dict:
         """Recursive plain-dict form (JSON-serializable)."""
-        out: dict = {"name": self.name, "elapsed_s": self.elapsed_s}
+        out: dict = {
+            "name": self.name,
+            "elapsed_s": self.elapsed_s,
+            "span_id": self.span_id,
+        }
+        if self.parent is not None:
+            out["parent_id"] = self.parent.span_id
+        if self.thread_name != "MainThread":
+            out["thread"] = self.thread_name
         if self.counters:
             out["counters"] = dict(self.counters)
         if self.attrs:
@@ -60,17 +105,25 @@ class _NullSpan:
     __slots__ = ()
     name = ""
     parent = None
+    parent_id = None
     children: list = []
     start_s = 0.0
     elapsed_s = 0.0
     counters: dict = {}
     attrs: dict = {}
+    span_id = 0
+    thread_id = 0
+    thread_name = ""
+    root_seq = 0
 
     def add(self, counter, amount=1):
         pass
 
     def set(self, key, value):
         pass
+
+    def walk(self):
+        return iter(())
 
     def to_dict(self):
         return {}
@@ -80,41 +133,103 @@ NULL_SPAN = _NullSpan()
 
 
 class Tracer:
-    """Creates spans and keeps the active nesting stack.
+    """Creates spans and keeps one active nesting stack per thread.
 
     Finished root spans are retained in ``roots`` (a bounded deque —
     old traces fall off rather than growing without limit) for
-    inspection and export.
+    inspection and export.  Each retained root gets a monotonically
+    increasing ``root_seq`` (never reset) so incremental exporters like
+    :class:`repro.obs.runtime.TelemetryRuntime` can drain only roots
+    they have not yet seen.
     """
 
     def __init__(self, enabled: bool = True, max_roots: int = 1024):
         self.enabled = enabled
         self.roots: deque[Span] = deque(maxlen=max_roots)
-        self._stack: list[Span] = []
+        self._stacks: dict[int, list[Span]] = {}
+        self._lock = threading.Lock()
+        self._root_seq = 0
+
+    def _stack(self) -> list:
+        tid = threading.get_ident()
+        stack = self._stacks.get(tid)
+        if stack is None:
+            with self._lock:
+                stack = self._stacks.setdefault(tid, [])
+        return stack
 
     @property
     def current(self) -> Span | None:
-        return self._stack[-1] if self._stack else None
+        """The calling thread's innermost open span, if any."""
+        stack = self._stacks.get(threading.get_ident())
+        return stack[-1] if stack else None
+
+    def start_span(self, name: str, parent=_INHERIT) -> Span:
+        """Open a span without a context manager (pair with
+        :meth:`end_span`).  ``parent`` defaults to the calling thread's
+        current span; pass a captured :class:`Span` to parent across
+        threads, or ``None`` to force a new root."""
+        if not self.enabled:
+            return NULL_SPAN
+        stack = self._stack()
+        if parent is _INHERIT:
+            parent = stack[-1] if stack else None
+        span = Span(name, parent=parent)
+        stack.append(span)
+        span.start_s = time.perf_counter()
+        return span
+
+    def end_span(self, span: Span) -> None:
+        """Close a span opened by :meth:`start_span`: stamp its
+        duration and attach it to its parent (or retain it as a
+        root)."""
+        if span is NULL_SPAN:
+            return
+        span.elapsed_s = time.perf_counter() - span.start_s
+        stack = self._stacks.get(threading.get_ident())
+        if stack:
+            if stack[-1] is span:
+                stack.pop()
+            else:
+                # Non-LIFO exit (e.g. generators holding spans open
+                # across interleaved pulls): remove by identity.
+                for i in range(len(stack) - 1, -1, -1):
+                    if stack[i] is span:
+                        del stack[i]
+                        break
+        if span.parent is not None:
+            # list.append is atomic under the GIL, so worker threads
+            # may attach children to a driver-side parent concurrently.
+            span.parent.children.append(span)
+        else:
+            with self._lock:
+                self._root_seq += 1
+                span.root_seq = self._root_seq
+                self.roots.append(span)
 
     @contextmanager
-    def span(self, name: str):
-        if not self.enabled:
-            yield NULL_SPAN
-            return
-        span = Span(name, parent=self.current)
-        self._stack.append(span)
-        started = time.perf_counter()
-        span.start_s = started
+    def span(self, name: str, parent=_INHERIT):
+        span = self.start_span(name, parent)
         try:
             yield span
         finally:
-            span.elapsed_s = time.perf_counter() - started
-            self._stack.pop()
-            if span.parent is not None:
-                span.parent.children.append(span)
-            else:
-                self.roots.append(span)
+            self.end_span(span)
+
+    def open_spans(self) -> list[Span]:
+        """Snapshot of every span currently open on any thread,
+        outermost first per thread (used by the Chrome-trace export to
+        draw still-running regions)."""
+        with self._lock:
+            stacks = list(self._stacks.values())
+        out: list[Span] = []
+        for stack in stacks:
+            out.extend(list(stack))
+        return out
 
     def reset(self) -> None:
-        self.roots.clear()
-        self._stack.clear()
+        """Drop retained roots and all per-thread stacks.  The root
+        sequence counter is *not* reset — it must stay monotonic so
+        incremental exporters never re-export after a reset."""
+        with self._lock:
+            self.roots.clear()
+            self._stacks.clear()

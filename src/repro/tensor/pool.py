@@ -177,16 +177,34 @@ class ArrayPool:
             "high_water_max": max(self._high_water.values(), default=0),
         }
         if self is _DEFAULT:
+            self.publish_gauges()
+        return out
+
+    def publish_gauges(self, registry=None) -> dict:
+        """Push the derived pool state to ``tensor.pool.*`` gauges and
+        return the name → value mapping.  Called by :meth:`stats` for
+        the process-wide pool, and every tick by the telemetry
+        resource sampler so the gauges stay continuously fresh instead
+        of only updating when somebody asks for stats."""
+        if registry is None:
             from repro import obs
 
-            gauge = obs.registry.gauge
-            gauge("tensor.pool.hit_rate").set(hit_rate)
-            gauge("tensor.pool.bytes").set(self.bytes)
-            gauge("tensor.pool.high_water_max").set(out["high_water_max"])
-            gauge("tensor.pool.reject_alias").set(self.reject_alias)
-            gauge("tensor.pool.reject_bytes").set(self.reject_bytes)
-            gauge("tensor.pool.reject_per_key").set(self.reject_per_key)
-        return out
+            registry = obs.registry
+        acquires = self.hits + self.misses
+        values = {
+            "tensor.pool.hit_rate": self.hits / acquires if acquires else 0.0,
+            "tensor.pool.bytes": self.bytes,
+            "tensor.pool.arrays": len(self),
+            "tensor.pool.high_water_max": max(
+                self._high_water.values(), default=0
+            ),
+            "tensor.pool.reject_alias": self.reject_alias,
+            "tensor.pool.reject_bytes": self.reject_bytes,
+            "tensor.pool.reject_per_key": self.reject_per_key,
+        }
+        for name, value in values.items():
+            registry.gauge(name).set(value)
+        return values
 
 
 _DEFAULT = ArrayPool()

@@ -1596,6 +1596,28 @@ def _trace_counters():
     return _metrics
 
 
+_reason_counters: dict = {}
+
+
+def _slug(reason: str) -> str:
+    return "".join(c if c.isalnum() else "_" for c in reason.lower()).strip("_")
+
+
+def _reason_counter(kind: str, reason: str):
+    """Get-or-create ``tensor.trace.<kind>.<reason-slug>`` so fallback
+    and invalidation *causes* are visible in the process-wide registry
+    (not only on the session object)."""
+    key = (kind, reason)
+    counter = _reason_counters.get(key)
+    if counter is None:
+        from repro import obs
+
+        counter = _reason_counters[key] = obs.registry.counter(
+            f"tensor.trace.{kind}.{_slug(reason)}"
+        )
+    return counter
+
+
 class TraceSession:
     """Per-(model, loss_fn) record/replay driver.
 
@@ -1631,20 +1653,24 @@ class TraceSession:
     def step(self, inputs, target) -> float:
         target = target if isinstance(target, Tensor) else Tensor(target)
         if self.disabled_reason is not None:
-            return self._eager(inputs, target, fallback=True)
+            return self._eager(inputs, target, fallback=True, reason="disabled")
         if not _core._grad_enabled:
             # no_grad() around the whole step: nothing to record.
-            return self._eager(inputs, target, fallback=True)
+            return self._eager(inputs, target, fallback=True, reason="no_grad")
         if not all(isinstance(t, Tensor) for t in inputs):
             self._disable("model inputs are not Tensors")
-            return self._eager(inputs, target, fallback=True)
+            return self._eager(
+                inputs, target, fallback=True, reason="non_tensor_inputs"
+            )
 
         sig = self._signature(inputs, target)
         if self.program is not None:
             if self._guards_changed():
                 self._invalidate("parameter or module-mode change")
                 if self.disabled_reason is not None:
-                    return self._eager(inputs, target, fallback=True)
+                    return self._eager(
+                        inputs, target, fallback=True, reason="disabled"
+                    )
             elif sig == self._sig:
                 self.counters["replays"] += 1
                 _trace_counters()["replay"].inc()
@@ -1653,9 +1679,9 @@ class TraceSession:
                 # Shape/dtype mismatch (e.g. a smaller final batch):
                 # run this step eagerly, keep the program for the next
                 # full-size batch.
-                self.counters["fallbacks"] += 1
-                _trace_counters()["fallback"].inc()
-                return self._eager(inputs, target)
+                return self._eager(
+                    inputs, target, fallback=True, reason="signature_mismatch"
+                )
         return self._capture(inputs, target, sig)
 
     def close(self) -> None:
@@ -1708,15 +1734,20 @@ class TraceSession:
     def _invalidate(self, reason: str) -> None:
         self.counters["invalidations"] += 1
         _trace_counters()["invalidate"].inc()
+        _reason_counter("invalidate", reason).inc()
         self.close()
         self._sig = None
         if self.counters["invalidations"] > self.MAX_INVALIDATIONS:
             self._disable(f"unstable trace: repeated {reason}")
 
-    def _eager(self, inputs, target, fallback: bool = False) -> float:
+    def _eager(
+        self, inputs, target, fallback: bool = False, reason: str | None = None
+    ) -> float:
         if fallback:
             self.counters["fallbacks"] += 1
             _trace_counters()["fallback"].inc()
+            if reason is not None:
+                _reason_counter("fallback", reason).inc()
         self.counters["eager_steps"] += 1
         output = self.model(*inputs)
         loss = self.loss_fn(output, target)

@@ -132,8 +132,10 @@ class TestTrainerMetrics:
     def test_epoch_histograms_recorded(self, rng):
         trainer, loader = _regression_trainer(rng)
         result = trainer.fit(loader, epochs=3)
-        hists = obs.export.snapshot()["metrics"]["histograms"]
-        assert hists["trainer.epoch_seconds"]["count"] == 3
+        metrics = obs.export.snapshot()["metrics"]
+        # epoch time is a latency-class metric -> windowed histogram
+        assert metrics["windowed"]["trainer.epoch_seconds"]["count"] == 3
+        hists = metrics["histograms"]
         assert hists["trainer.train_loss"]["count"] == 3
         assert hists["trainer.train_loss"]["min"] == min(result.train_losses)
 
@@ -157,5 +159,7 @@ class TestTrainerMetrics:
         with obs.disabled():
             result = trainer.fit(loader, epochs=2)
         assert len(result.train_losses) == 2
-        hists = obs.export.snapshot()["metrics"]["histograms"]
-        assert hists["trainer.epoch_seconds"]["count"] == 0
+        metrics = obs.export.snapshot()["metrics"]
+        assert metrics.get("windowed", {}).get(
+            "trainer.epoch_seconds", {"count": 0}
+        )["count"] == 0

@@ -264,7 +264,7 @@ class TestTrainerIntegration:
         snap = obs.registry.snapshot()
         assert snap["counters"]["dataloader.batches"] == 3
         assert snap["counters"]["dataloader.samples"] == 12
-        hist = snap["histograms"]["dataloader.batch_fetch_seconds"]
+        hist = snap["windowed"]["dataloader.batch_fetch_seconds"]
         assert hist["count"] == 3
 
     def test_dataloader_metrics_disabled_noop(self):
@@ -397,6 +397,57 @@ class TestChromeTrace:
         loaded = json.loads(open(path).read())
         assert loaded == json.loads(json.dumps(trace))
         assert loaded["displayTimeUnit"] == "ms"
+
+    def test_empty_tracer_exports_metadata_only(self):
+        trace = to_chrome_trace()
+        assert [e for e in trace["traceEvents"] if e["ph"] == "X"] == []
+        metadata = {e["name"] for e in trace["traceEvents"]}
+        assert "process_name" in metadata
+
+    def test_open_spans_included_with_open_flag(self):
+        span = obs.tracer.start_span("still.running")
+        try:
+            trace = to_chrome_trace()
+        finally:
+            obs.tracer.end_span(span)
+        events = {
+            e["name"]: e for e in trace["traceEvents"] if e["ph"] == "X"
+        }
+        assert events["still.running"]["args"]["open"] is True
+        assert events["still.running"]["dur"] >= 0
+        # and excluded on request
+        span2 = obs.tracer.start_span("hidden")
+        try:
+            trace = to_chrome_trace(include_open=False)
+        finally:
+            obs.tracer.end_span(span2)
+        names = {e["name"] for e in trace["traceEvents"] if e["ph"] == "X"}
+        assert "hidden" not in names
+
+    def test_multi_thread_spans_get_own_lanes_with_parent_ids(self):
+        import threading
+
+        with obs.tracer.span("driver") as driver:
+            def work():
+                with obs.tracer.span("worker", parent=driver):
+                    pass
+
+            t = threading.Thread(target=work, name="lane-test")
+            t.start()
+            t.join()
+        trace = to_chrome_trace()
+        events = {
+            e["name"]: e for e in trace["traceEvents"] if e["ph"] == "X"
+        }
+        drv, wrk = events["driver"], events["worker"]
+        assert wrk["tid"] != drv["tid"]
+        assert wrk["args"]["parent_id"] == drv["args"]["span_id"]
+        lane_names = {
+            e["tid"]: e["args"]["name"]
+            for e in trace["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert "lane-test" in lane_names[wrk["tid"]]
 
 
 class TestAtomicWrites:
