@@ -10,9 +10,11 @@ group-by, the optimizer on/off prune-heavy workload, the compiled
 expression-stage pipeline vs the interpreter (plus 2-thread morsel
 scaling), the out-of-core order_by under a memory budget (peak bytes
 + spill slowdown), the trace-based autograd fuser's replayed ConvLSTM
-step vs the eager step, the Figure 8 tensor-preparation leg, and a
-small training epoch measuring the cost of the obs layer + dormant
-profiler hooks on the model stack.
+step vs the eager step, incremental streaming maintenance (delta
+aggregates + in-place grid-tensor updates) vs full recomputation at
+three backlog sizes, the Figure 8 tensor-preparation leg, and a small
+training epoch measuring the cost of the obs layer + dormant profiler
+hooks on the model stack.
 """
 
 from __future__ import annotations
@@ -690,6 +692,114 @@ def bench_spill(n: int = 300_000, parts: int = 32) -> dict:
     }
 
 
+def bench_streaming(batch_rows: int = 2_000) -> dict:
+    """Incremental streaming maintenance vs full recomputation.
+
+    One retained stream with a delta-maintained ``(time_step, cell_id)``
+    aggregation feeding an in-place ST grid tensor.  At three backlog
+    sizes the stage times (a) an *incremental update* — append one
+    micro-batch and scatter its delta into the live tensor via
+    ``STManager.update_st_grid_array`` — against (b) a *full
+    recompute* — batch group-by over the whole retained history plus a
+    from-scratch ``get_st_grid_array`` rebuild.  The rebuilt tensor is
+    asserted bit-identical to the incrementally maintained one every
+    time, so the speedup is never bought with drift.
+
+    Keys (gated by scripts/diff_bench.py):
+
+    - ``stream_update_speedup`` — full recompute over incremental
+      update wall time at the largest backlog; lower is worse, and the
+      absolute floor is 10x (the incremental path is O(batch) while
+      the recompute is O(history), so the ratio must keep growing with
+      backlog).
+    - ``stream_update_p99_ms`` — p99 incremental update latency
+      (append + delta scatter) over the timed appends at the largest
+      backlog; higher is worse.
+
+    ``stream_curve`` records the full backlog -> (incremental,
+    recompute, speedup) curve for docs/PERFORMANCE.md.
+    """
+    from repro.core.preprocessing.grid import STManager as stm
+
+    rng = np.random.default_rng(31)
+    px, py = 16, 12
+    channels = ["count", "mean_v"]
+    backlogs = (20_000, 60_000, 180_000)
+
+    def make_batch() -> dict:
+        return {
+            "time_step": rng.integers(0, 48, batch_rows).astype(np.int64),
+            "cell_id": rng.integers(0, px * py, batch_rows).astype(np.int64),
+            "v": rng.uniform(0, 10, batch_rows),
+        }
+
+    session = Session()
+    stream = session.stream(
+        [
+            ("time_step", np.int64),
+            ("cell_id", np.int64),
+            ("v", np.float64),
+        ]
+    )
+    live = stream.aggregate(
+        ["time_step", "cell_id"],
+        [agg.count(name="count"), agg.mean("v")],
+    )
+    tensor = np.zeros((1, py, px, len(channels)), dtype=np.float32)
+
+    def incremental_append() -> float:
+        nonlocal tensor
+        batch = make_batch()
+        started = time.perf_counter()
+        stream.append(batch)
+        tensor = stm.update_st_grid_array(
+            tensor, live.delta(), px, py, value_columns=channels
+        )
+        return time.perf_counter() - started
+
+    curve = []
+    for backlog in backlogs:
+        while stream.rows_ingested < backlog:
+            incremental_append()
+        incremental = [incremental_append() for _ in range(15)]
+        recompute_s = float("inf")
+        for _ in range(3):
+            started = time.perf_counter()
+            rebuilt = stm.get_st_grid_array(
+                live.recompute_dataframe(),
+                px,
+                py,
+                num_steps=tensor.shape[0],
+                value_columns=channels,
+            )
+            recompute_s = min(recompute_s, time.perf_counter() - started)
+            assert np.array_equal(tensor, rebuilt), (
+                "incrementally maintained grid tensor diverged from the "
+                "full rebuild"
+            )
+            stm.release_st_grid_array(rebuilt)
+        curve.append(
+            {
+                "backlog_rows": stream.rows_ingested,
+                "incremental_update_s": min(incremental),
+                "incremental_update_p99_s": float(
+                    np.percentile(incremental, 99)
+                ),
+                "full_recompute_s": recompute_s,
+                "speedup": recompute_s / min(incremental),
+            }
+        )
+
+    largest = curve[-1]
+    return {
+        "stream_batch_rows": batch_rows,
+        "stream_curve": curve,
+        "stream_update_speedup": largest["speedup"],
+        "stream_update_p99_ms": largest["incremental_update_p99_s"] * 1e3,
+        "stream_recompute_s": largest["full_recompute_s"],
+    }
+
+
 def bench_fig8_leg(n: int = 50_000) -> dict:
     from repro.experiments.fig8 import make_records, run_engine_prep
 
@@ -715,6 +825,7 @@ def main() -> dict:
         bench_traced_convlstm,
         bench_expr_pipeline,
         bench_spill,
+        bench_streaming,
         bench_fig8_leg,
     )
     for stage in stages:

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Repo health check, eight gates:
+# Repo health check, nine gates:
 #   1. lint: ruff check (config in pyproject.toml); skipped with a
 #      note when ruff is not installed in the environment
 #   2. tier-1: the full test suite (what the roadmap pins)
@@ -13,15 +13,20 @@
 #   6. obs-export lane: the unit suite again under REPRO_OBS_EXPORT=1,
 #      so every test runs with the background telemetry flusher live
 #      (exercises the exporter racing real workloads)
-#   7. bench smoke: benchmarks/run_quick.py runs to completion and
+#   7. streaming lane: the streaming unit + property suites again
+#      under a forced memory budget AND the live exporter at once, so
+#      incremental ingestion runs with spill-capable sessions and the
+#      telemetry runtime racing the delta-maintenance hot path
+#   8. bench smoke: benchmarks/run_quick.py runs to completion and
 #      regenerates BENCH_engine.json (incl. per-operator breakdown)
-#   8. bench diff: the fresh BENCH_engine.json must not regress the
+#   9. bench diff: the fresh BENCH_engine.json must not regress the
 #      watched keys (obs overhead, join speedup, ConvLSTM epoch time,
 #      peak activation bytes, compiled-stage speedup, 2-thread morsel
 #      scaling, spill peak bytes + slowdown, traced-step speedup +
-#      capture overhead, telemetry-runtime overhead) >25% vs the
-#      committed one, and obs_runtime_overhead_ratio must stay under
-#      an absolute 1.10 cap
+#      capture overhead, telemetry-runtime overhead, streaming update
+#      speedup + p99 latency) >25% vs the committed one;
+#      obs_runtime_overhead_ratio must stay under an absolute 1.10
+#      cap and stream_update_speedup above an absolute 10x floor
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
@@ -58,6 +63,15 @@ obs_export_dir="$(mktemp -d)"
 REPRO_OBS_EXPORT=1 REPRO_OBS_EXPORT_DIR="$obs_export_dir" \
     python -m pytest tests/unit -q -m "not slow"
 rm -rf "$obs_export_dir"
+
+echo "== streaming lane: budgeted sessions + live exporter =="
+stream_export_dir="$(mktemp -d)"
+REPRO_TEST_MEMORY_BUDGET=4096 \
+    REPRO_OBS_EXPORT=1 REPRO_OBS_EXPORT_DIR="$stream_export_dir" \
+    python -m pytest -q \
+    tests/unit/test_streaming.py \
+    tests/property/test_property_streaming.py
+rm -rf "$stream_export_dir"
 
 echo "== bench smoke: run_quick =="
 baseline="$(mktemp)"

@@ -33,11 +33,20 @@ regenerating BENCH_engine.json):
   drain without it; higher is worse.  Also capped **absolutely** at
   1.10 (the runtime must cost < 10% regardless of what the committed
   baseline says).
+- ``stream_update_speedup`` — full recompute (group-by over retained
+  history + grid-tensor rebuild) over one incremental streaming
+  update (append + delta scatter) at the largest backlog; lower is
+  worse.  Also floored **absolutely** at 10x — the incremental path
+  is O(batch) vs O(history) and must stay an order of magnitude ahead
+  regardless of baseline drift.
+- ``stream_update_p99_ms`` — p99 incremental update latency at the
+  largest backlog; higher is worse.
 
 A key regresses when it moves more than ``TOLERANCE`` (25%) in its bad
 direction.  ``ABS_LIMITS`` keys additionally fail when the fresh value
-exceeds the absolute cap, baseline or no baseline.  Missing keys in
-the baseline (older file layouts) are skipped with a note rather than
+exceeds the absolute cap, and ``ABS_FLOORS`` keys when it falls below
+the absolute floor, baseline or no baseline.  Missing keys in the
+baseline (older file layouts) are skipped with a note rather than
 failed, so the gate stays usable across layout changes.
 """
 
@@ -61,12 +70,20 @@ WATCHED = {
     "traced_step_speedup": "higher",
     "trace_capture_overhead_ratio": "lower",
     "obs_runtime_overhead_ratio": "lower",
+    "stream_update_speedup": "higher",
+    "stream_update_p99_ms": "lower",
 }
 
 #: key -> hard ceiling on the *fresh* value, independent of baseline
 #: drift — a ratcheting baseline must never launder an absolute bar.
 ABS_LIMITS = {
     "obs_runtime_overhead_ratio": 1.10,
+}
+
+#: key -> hard floor on the *fresh* value, the mirror of ABS_LIMITS
+#: for higher-is-better keys.
+ABS_FLOORS = {
+    "stream_update_speedup": 10.0,
 }
 
 
@@ -88,6 +105,16 @@ def main(argv: list[str]) -> int:
             failures.append(f"{key}: {value:.4f} exceeds absolute cap {limit}")
         else:
             print(f"diff_bench: {key}: fresh={value:.4f} <= cap {limit} ok")
+    for key, floor in ABS_FLOORS.items():
+        if key not in fresh:
+            continue  # handled (or skipped) by the relative gate below
+        value = float(fresh[key])
+        if value < floor:
+            failures.append(
+                f"{key}: {value:.4f} below absolute floor {floor}"
+            )
+        else:
+            print(f"diff_bench: {key}: fresh={value:.4f} >= floor {floor} ok")
     for key, direction in WATCHED.items():
         if key not in baseline:
             print(f"diff_bench: {key}: not in baseline, skipping")

@@ -69,6 +69,7 @@ from repro.engine.schema import Schema, Field
 from repro.engine.partition import Partition
 from repro.engine.optimizer import optimize
 from repro.engine.spill import SpillError
+from repro.engine.streaming import Stream, StreamingAggregation, WindowSpec
 from repro.engine import aggregates as agg
 
 __all__ = [
@@ -83,5 +84,8 @@ __all__ = [
     "Field",
     "Partition",
     "SpillError",
+    "Stream",
+    "StreamingAggregation",
+    "WindowSpec",
     "agg",
 ]

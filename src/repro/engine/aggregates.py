@@ -5,6 +5,24 @@ aggregated (vectorized), and the partial states are merged into a
 global hash table keyed by the group key.  Only (num_groups) state is
 ever held, never the input rows — this is the memory property Figure 8
 measures.
+
+Every aggregate here is *mergeable*: its per-partition partial is a
+fixed-size summary that a two-accumulator ``merge`` combines without
+seeing the input rows again.  That property is what the spill paths,
+the morsel-parallel executor, and the incremental streaming layer
+(:mod:`repro.engine.streaming`) all rely on — and it is why ``var`` /
+``std`` carry a Chan-style ``(mean, M2)`` pair instead of a naive
+sum-of-squares (numerically unstable) or the raw values
+(non-mergeable), and why ``count_distinct`` carries the value *set*
+rather than a count (counts of distinct values do not add).
+
+:class:`ArrayGroupState` is the vectorized form of that merge — whole
+accumulator arrays combined with ``np.unique`` + scatter updates, one
+merge per partition.  Both the batch group-by executor and the
+streaming ``DeltaState`` run *this exact class*, which is what makes
+incrementally maintained results bit-identical to a from-scratch
+recompute over the same partition boundaries: the two paths execute
+the same float operations in the same order by construction.
 """
 
 from __future__ import annotations
@@ -20,9 +38,18 @@ class AggSpec:
 
     out_name: str
     column: str  # "*" for count
-    kind: str  # count | sum | min | max | mean
+    kind: str  # count | sum | min | max | mean | var | std | count_distinct
 
-    _KINDS = ("count", "sum", "min", "max", "mean")
+    _KINDS = (
+        "count",
+        "sum",
+        "min",
+        "max",
+        "mean",
+        "var",
+        "std",
+        "count_distinct",
+    )
 
     def __post_init__(self):
         if self.kind not in self._KINDS:
@@ -53,8 +80,44 @@ def mean(column: str, name: str | None = None) -> AggSpec:
     return AggSpec(name or f"mean_{column}", column, "mean")
 
 
+def var_(column: str, name: str | None = None) -> AggSpec:
+    """Sample variance (ddof=1); NaN for groups with fewer than 2 rows."""
+    return AggSpec(name or f"var_{column}", column, "var")
+
+
+def std_(column: str, name: str | None = None) -> AggSpec:
+    """Sample standard deviation (ddof=1); NaN below 2 rows."""
+    return AggSpec(name or f"std_{column}", column, "std")
+
+
+def count_distinct(column: str, name: str | None = None) -> AggSpec:
+    return AggSpec(name or f"count_distinct_{column}", column, "count_distinct")
+
+
+def _chan_merge(na, ma, m2a, nb, mb, m2b):
+    """Chan et al. pairwise combination of two (count, mean, M2)
+    moment summaries.  Exact pass-through when one side is empty, so
+    merging a partial into a fresh accumulator reproduces the partial
+    bit for bit."""
+    if na == 0:
+        return mb, m2b
+    if nb == 0:
+        return ma, m2a
+    n = na + nb
+    delta = mb - ma
+    mean = ma + delta * (nb / n)
+    m2 = m2a + m2b + delta * delta * (na * (nb / n))
+    return mean, m2
+
+
 class _State:
-    """Per-group mergeable accumulator for one AggSpec."""
+    """Per-group mergeable accumulator for one AggSpec.
+
+    ``value`` holds the kind-specific partial summary: the running sum
+    for ``sum``/``mean``, the extremum for ``min``/``max``, a
+    ``(mean, M2)`` moment pair for ``var``/``std``, and the set of
+    seen values for ``count_distinct``.
+    """
 
     __slots__ = ("kind", "value", "count")
 
@@ -64,9 +127,28 @@ class _State:
         self.count = 0
 
     def update(self, partial_value, partial_count: int) -> None:
-        self.count += partial_count
         if self.kind == "count":
+            self.count += partial_count
             return
+        if self.kind == "count_distinct":
+            self.count += partial_count
+            if self.value is None:
+                self.value = set(partial_value)
+            else:
+                self.value |= set(partial_value)
+            return
+        if self.kind in ("var", "std"):
+            mb, m2b = partial_value
+            if self.value is None:
+                self.value = (mb, m2b)
+            else:
+                ma, m2a = self.value
+                self.value = _chan_merge(
+                    self.count, ma, m2a, partial_count, mb, m2b
+                )
+            self.count += partial_count
+            return
+        self.count += partial_count
         if self.value is None:
             self.value = partial_value
         elif self.kind in ("sum", "mean"):
@@ -76,31 +158,82 @@ class _State:
         elif self.kind == "max":
             self.value = max(self.value, partial_value)
 
+    def merge(self, other: "_State") -> None:
+        """Fold another accumulator of the same kind into this one —
+        the two-accumulator combine the spill / parallel / streaming
+        paths need (``update`` takes a *partial*, this takes a peer)."""
+        if other.kind != self.kind:
+            raise ValueError(
+                f"cannot merge {other.kind!r} state into {self.kind!r}"
+            )
+        if other.count == 0 and other.value is None:
+            return
+        self.update(other.value, other.count)
+
     def result(self):
         if self.kind == "count":
             return self.count
+        if self.kind == "count_distinct":
+            return len(self.value) if self.value is not None else 0
         if self.kind == "mean":
             return self.value / self.count if self.count else float("nan")
+        if self.kind in ("var", "std"):
+            if self.count < 2:
+                return float("nan")
+            variance = self.value[1] / (self.count - 1)
+            return float(np.sqrt(variance)) if self.kind == "std" else variance
         return self.value
+
+
+def _group_index_lists(stacked: np.ndarray):
+    groups: dict = {}
+    for i in range(stacked.shape[0]):
+        key = tuple(stacked[i])
+        groups.setdefault(key, []).append(i)
+    uniques = list(groups)
+    idx_lists = [np.asarray(groups[k]) for k in uniques]
+    return uniques, idx_lists
+
+
+def _moment_partial(vals: np.ndarray, inverse: np.ndarray, counts):
+    """Per-group (mean, M2) pairs via the same two-pass bincount the
+    vectorized group state uses, so dict-path partials merge with
+    array-path partials bit for bit."""
+    num_groups = len(counts)
+    sums = np.bincount(inverse, weights=vals, minlength=num_groups)
+    means = sums / counts
+    dev = vals - means[inverse]
+    m2 = np.bincount(inverse, weights=dev * dev, minlength=num_groups)
+    return means, m2
+
+
+def _distinct_sets(vals: np.ndarray, inverse: np.ndarray, num_groups: int):
+    """Per-group sets of distinct values (object list of Python sets)."""
+    order = np.argsort(inverse, kind="stable")
+    sorted_inverse = inverse[order]
+    sorted_vals = vals[order]
+    boundaries = np.flatnonzero(np.diff(sorted_inverse)) + 1
+    starts = np.concatenate(([0], boundaries))
+    stops = np.concatenate((boundaries, [len(sorted_vals)]))
+    sets = [set() for _ in range(num_groups)]
+    for g, start, stop in zip(sorted_inverse[starts], starts, stops):
+        sets[g] = set(sorted_vals[start:stop].tolist())
+    return sets
 
 
 def partial_aggregate(keys_arrays, value_array, kind: str):
     """Vectorized per-partition partial aggregation.
 
     Returns (unique_key_rows, partial_values, partial_counts) where
-    ``unique_key_rows`` is a list of key tuples.
+    ``unique_key_rows`` is a list of key tuples and each partial value
+    is in the form :meth:`_State.update` accepts for ``kind``.
     """
     stacked = np.stack(
         [np.asarray(k) for k in keys_arrays], axis=1
     )
     if stacked.dtype == object:
         # Fallback: dict-based grouping for non-numeric keys.
-        groups: dict = {}
-        for i in range(stacked.shape[0]):
-            key = tuple(stacked[i])
-            groups.setdefault(key, []).append(i)
-        uniques = list(groups)
-        idx_lists = [np.asarray(groups[k]) for k in uniques]
+        uniques, idx_lists = _group_index_lists(stacked)
         counts = np.array([len(ix) for ix in idx_lists])
         if kind == "count":
             return uniques, counts.astype(np.float64), counts
@@ -109,13 +242,22 @@ def partial_aggregate(keys_arrays, value_array, kind: str):
             partial = np.array([vals[ix].sum() for ix in idx_lists])
         elif kind == "min":
             partial = np.array([vals[ix].min() for ix in idx_lists])
-        else:
+        elif kind == "max":
             partial = np.array([vals[ix].max() for ix in idx_lists])
+        elif kind in ("var", "std"):
+            inverse = np.empty(len(vals), dtype=np.int64)
+            for g, ix in enumerate(idx_lists):
+                inverse[ix] = g
+            means, m2 = _moment_partial(vals, inverse, counts)
+            partial = list(zip(means, m2))
+        else:
+            partial = [set(vals[ix].tolist()) for ix in idx_lists]
         return uniques, partial, counts
 
     unique_rows, inverse, counts = np.unique(
         stacked, axis=0, return_inverse=True, return_counts=True
     )
+    inverse = np.reshape(inverse, -1)
     uniques = [tuple(row) for row in unique_rows]
     if kind == "count":
         return uniques, counts.astype(np.float64), counts
@@ -125,7 +267,296 @@ def partial_aggregate(keys_arrays, value_array, kind: str):
     elif kind == "min":
         partial = np.full(len(uniques), np.inf)
         np.minimum.at(partial, inverse, vals)
-    else:
+    elif kind == "max":
         partial = np.full(len(uniques), -np.inf)
         np.maximum.at(partial, inverse, vals)
+    elif kind in ("var", "std"):
+        means, m2 = _moment_partial(vals, inverse, counts)
+        partial = list(zip(means, m2))
+    else:
+        partial = _distinct_sets(vals, inverse, len(uniques))
     return uniques, partial, counts
+
+
+# ----------------------------------------------------------------------
+# Vectorized per-group state: whole accumulator arrays, scatter merges
+# ----------------------------------------------------------------------
+def unique_rows(rows: np.ndarray, return_counts: bool = False):
+    """``np.unique`` over key rows; 1-column keys take the fast 1-D
+    path instead of the void-view axis=0 machinery."""
+    if rows.shape[1] == 1:
+        result = np.unique(
+            rows[:, 0], return_inverse=True, return_counts=return_counts
+        )
+        uniques = result[0][:, None]
+        rest = result[1:]
+    else:
+        result = np.unique(
+            rows, axis=0, return_inverse=True, return_counts=return_counts
+        )
+        uniques = result[0]
+        rest = result[1:]
+    inverse = rest[0].reshape(-1)
+    if return_counts:
+        return uniques, inverse, rest[1]
+    return uniques, inverse
+
+
+def empty_group_partition(keys, specs):
+    from repro.engine.partition import Partition
+
+    cols = {k: np.empty(0) for k in keys}
+    cols.update({s.out_name: np.empty(0) for s in specs})
+    return Partition(cols)
+
+
+class ArrayGroupState:
+    """Per-group accumulators held as whole arrays, merged with
+    ``np.unique`` + scatter updates — one vectorized merge per
+    partition instead of one Python dict update per key.
+
+    ``values[i]`` mirrors :class:`_State` per spec: a float64 array for
+    sum/mean/min/max, a ``(means, m2s)`` array pair for var/std, an
+    object array of Python sets for count_distinct, ``None`` for count
+    (the shared ``counts`` array is its state).
+
+    :meth:`update` returns the merged-state positions of the groups the
+    incoming partition touched — the batch executor ignores this, the
+    streaming :class:`~repro.engine.streaming.DeltaState` uses it to
+    emit per-batch deltas.
+    """
+
+    def __init__(self, specs):
+        self.specs = specs
+        self.keys: np.ndarray | None = None  # (G, K) unique key rows
+        self.counts: np.ndarray | None = None  # (G,) int64 rows per group
+        self.values: list = [None] * len(specs)
+
+    @property
+    def num_groups(self) -> int:
+        return 0 if self.keys is None else len(self.keys)
+
+    @property
+    def nbytes(self) -> int:
+        total = 0
+        for arr in [self.keys, self.counts]:
+            if arr is not None:
+                total += arr.nbytes
+        for spec, value in zip(self.specs, self.values):
+            if value is None:
+                continue
+            if spec.kind in ("var", "std"):
+                total += value[0].nbytes + value[1].nbytes
+            elif spec.kind == "count_distinct":
+                # Rough per-set estimate: dict header + one slot/value.
+                total += sum(64 + 32 * len(s) for s in value)
+            else:
+                total += value.nbytes
+        return total
+
+    def _partials(self, uniques, inverse, counts, part):
+        partials = []
+        for spec in self.specs:
+            if spec.kind == "count":
+                partials.append(None)
+                continue
+            vals = np.asarray(part.columns[spec.column], dtype=np.float64)
+            if spec.kind in ("sum", "mean"):
+                partial = np.bincount(
+                    inverse, weights=vals, minlength=len(uniques)
+                )
+            elif spec.kind == "min":
+                partial = np.full(len(uniques), np.inf)
+                np.minimum.at(partial, inverse, vals)
+            elif spec.kind == "max":
+                partial = np.full(len(uniques), -np.inf)
+                np.maximum.at(partial, inverse, vals)
+            elif spec.kind in ("var", "std"):
+                partial = _moment_partial(vals, inverse, counts)
+            else:
+                partial = np.empty(len(uniques), dtype=object)
+                partial[:] = _distinct_sets(vals, inverse, len(uniques))
+            partials.append(partial)
+        return partials
+
+    def update(self, stacked: np.ndarray, part) -> np.ndarray:
+        """Merge one partition's rows (key rows ``stacked``) into the
+        state; returns the merged-state indices of the touched groups
+        (aligned with the partition's sorted unique key rows)."""
+        uniques, inverse, counts = unique_rows(stacked, return_counts=True)
+        counts = counts.astype(np.int64)
+        partials = self._partials(uniques, inverse, counts, part)
+
+        if self.keys is None:
+            self.keys = uniques
+            self.counts = counts
+            self.values = partials
+            return np.arange(len(uniques), dtype=np.int64)
+
+        num_old = len(self.keys)
+        combined = np.concatenate([self.keys, uniques], axis=0)
+        merged_keys, remap = unique_rows(combined)
+        old_map, new_map = remap[:num_old], remap[num_old:]
+        old_counts = np.zeros(len(merged_keys), dtype=np.int64)
+        old_counts[old_map] = self.counts
+        merged_counts = old_counts.copy()
+        merged_counts[new_map] += counts
+        merged_values = []
+        for spec, old, partial in zip(self.specs, self.values, partials):
+            if spec.kind == "count":
+                merged_values.append(None)
+            elif spec.kind in ("sum", "mean"):
+                merged = np.zeros(len(merged_keys))
+                merged[old_map] = old
+                merged[new_map] += partial
+                merged_values.append(merged)
+            elif spec.kind == "min":
+                merged = np.full(len(merged_keys), np.inf)
+                merged[old_map] = old
+                merged[new_map] = np.minimum(merged[new_map], partial)
+                merged_values.append(merged)
+            elif spec.kind == "max":
+                merged = np.full(len(merged_keys), -np.inf)
+                merged[old_map] = old
+                merged[new_map] = np.maximum(merged[new_map], partial)
+                merged_values.append(merged)
+            elif spec.kind in ("var", "std"):
+                merged_values.append(
+                    self._merge_moments(
+                        merged_keys, old_map, new_map, old_counts,
+                        counts, old, partial,
+                    )
+                )
+            else:
+                merged = np.empty(len(merged_keys), dtype=object)
+                merged[old_map] = old
+                for slot, fresh in zip(new_map, partial):
+                    existing = merged[slot]
+                    merged[slot] = (
+                        fresh if existing is None else existing | fresh
+                    )
+                merged_values.append(merged)
+        self.keys = merged_keys
+        self.counts = merged_counts
+        self.values = merged_values
+        return new_map
+
+    @staticmethod
+    def _merge_moments(
+        merged_keys, old_map, new_map, old_counts, counts, old, partial
+    ):
+        """Vectorized Chan merge of (mean, M2) pairs at ``new_map``;
+        groups unseen before take the incoming partial bit for bit
+        (same exactness rule as the scalar :func:`_chan_merge`)."""
+        means = np.zeros(len(merged_keys))
+        m2s = np.zeros(len(merged_keys))
+        if old is not None:
+            means[old_map] = old[0]
+            m2s[old_map] = old[1]
+        na = old_counts[new_map].astype(np.float64)
+        nb = counts.astype(np.float64)
+        pm, pm2 = partial
+        ma = means[new_map]
+        m2a = m2s[new_map]
+        with np.errstate(invalid="ignore", divide="ignore"):
+            n = na + nb
+            delta = pm - ma
+            ratio = nb / n
+            merged_mean = ma + delta * ratio
+            merged_m2 = m2a + pm2 + delta * delta * (na * ratio)
+        fresh = na == 0
+        if fresh.any():
+            merged_mean = np.where(fresh, pm, merged_mean)
+            merged_m2 = np.where(fresh, pm2, merged_m2)
+        means[new_map] = merged_mean
+        m2s[new_map] = merged_m2
+        return means, m2s
+
+    def select(self, mask: np.ndarray) -> "ArrayGroupState":
+        """A new state holding only the groups where ``mask`` is True
+        (accumulator arrays sliced, sets shared — the caller finalizes
+        or discards the selection, never updates it concurrently)."""
+        out = ArrayGroupState(self.specs)
+        if self.keys is None or not mask.any():
+            return out
+        out.keys = self.keys[mask]
+        out.counts = self.counts[mask]
+        out.values = [
+            None
+            if value is None
+            else (value[0][mask], value[1][mask])
+            if spec.kind in ("var", "std")
+            else value[mask]
+            for spec, value in zip(self.specs, self.values)
+        ]
+        return out
+
+    def compact(self, mask: np.ndarray) -> int:
+        """Drop the groups where ``mask`` is False (watermark
+        eviction); returns how many groups were evicted."""
+        if self.keys is None:
+            return 0
+        evicted = int(len(self.keys) - np.count_nonzero(mask))
+        if evicted == 0:
+            return 0
+        kept = self.select(mask)
+        self.keys = kept.keys
+        self.counts = kept.counts
+        self.values = (
+            kept.values if kept.keys is not None else [None] * len(self.specs)
+        )
+        return evicted
+
+    def to_dict_state(self) -> dict:
+        """Convert to the dict-of-accumulators form (used when a later
+        partition turns out to carry object keys)."""
+        state: dict = {}
+        for g in range(self.num_groups):
+            slot = [_State(s.kind) for s in self.specs]
+            for spec_index, spec in enumerate(self.specs):
+                value = self.values[spec_index]
+                if spec.kind == "count":
+                    partial = None
+                elif spec.kind in ("var", "std"):
+                    partial = (value[0][g], value[1][g])
+                elif spec.kind == "count_distinct":
+                    partial = value[g]
+                else:
+                    partial = value[g]
+                slot[spec_index].update(partial, int(self.counts[g]))
+            state[tuple(self.keys[g])] = slot
+        return state
+
+    def to_partition(self, keys, key_dtypes):
+        from repro.engine.partition import Partition
+
+        if self.keys is None:
+            return empty_group_partition(keys, self.specs)
+        columns = {}
+        for i, key_name in enumerate(keys):
+            arr = self.keys[:, i]
+            if key_dtypes is not None and key_dtypes[i].kind in "iu":
+                arr = arr.astype(np.int64)
+            columns[key_name] = arr
+        for spec_index, spec in enumerate(self.specs):
+            value = self.values[spec_index]
+            if spec.kind == "count":
+                columns[spec.out_name] = self.counts.copy()
+            elif spec.kind == "mean":
+                columns[spec.out_name] = value / self.counts
+            elif spec.kind in ("var", "std"):
+                with np.errstate(invalid="ignore", divide="ignore"):
+                    out = value[1] / (self.counts - 1)
+                out = np.where(self.counts < 2, np.nan, out)
+                if spec.kind == "std":
+                    out = np.sqrt(out)
+                columns[spec.out_name] = out
+            elif spec.kind == "count_distinct":
+                columns[spec.out_name] = np.fromiter(
+                    (len(s) for s in value),
+                    dtype=np.int64,
+                    count=len(value),
+                )
+            else:
+                columns[spec.out_name] = value
+        return Partition(columns)

@@ -406,7 +406,7 @@ def compile_stages(node: P.PlanNode) -> P.PlanNode:
     that carry no expression at all, like a lone ``Drop`` — are
     rebuilt as the original interpreted operators.
     """
-    if isinstance(node, (P.Source, P.Cache)):
+    if isinstance(node, (P.Source, P.StreamingSource, P.Cache)):
         return node
     if isinstance(node, _FUSABLE):
         chain = []  # top-down

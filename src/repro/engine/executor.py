@@ -42,7 +42,12 @@ from collections import deque
 import numpy as np
 
 from repro.engine import plan as P
-from repro.engine.aggregates import _State, partial_aggregate
+from repro.engine.aggregates import (
+    ArrayGroupState,
+    _State,
+    empty_group_partition,
+    partial_aggregate,
+)
 from repro.engine.partition import Partition
 
 
@@ -153,6 +158,8 @@ def _iterate_closing(node: P.PlanNode, ctx: _ExecContext):
 def _iter_node(node: P.PlanNode, ctx: _ExecContext):
     if isinstance(node, P.Source):
         yield from _run_source(node, ctx)
+    elif isinstance(node, P.StreamingSource):
+        yield from _run_streaming_source(node, ctx)
     elif isinstance(node, P.CompiledStage):
         yield from _run_compiled_stage(node, ctx)
     elif isinstance(node, P.Project):
@@ -323,6 +330,24 @@ def _run_source(node: P.Source, ctx: _ExecContext):
                 meter.release(nbytes)
 
 
+def _run_streaming_source(node: P.StreamingSource, ctx: _ExecContext):
+    """Replay a streaming source's retained micro-batches, one
+    partition per batch — partition boundaries follow ingestion
+    boundaries, so a recompute over the view merges partials in the
+    exact order the incremental state did."""
+    meter = ctx.meter
+    # Snapshot: appends racing this execution affect the next one.
+    for part in list(node.batches):
+        nbytes = part.nbytes
+        if meter is not None:
+            meter.allocate(nbytes)
+        try:
+            yield part
+        finally:
+            if meter is not None:
+                meter.release(nbytes)
+
+
 def _run_limit(node: P.Limit, ctx: _ExecContext):
     remaining = node.n
     for part in ctx.iterate(node.child):
@@ -339,154 +364,15 @@ def _run_limit(node: P.Limit, ctx: _ExecContext):
 # ----------------------------------------------------------------------
 # Group-by: array-level partial merges (dict fallback for object keys)
 # ----------------------------------------------------------------------
-def _unique_rows(rows: np.ndarray, return_counts: bool = False):
-    """``np.unique`` over key rows; 1-column keys take the fast 1-D
-    path instead of the void-view axis=0 machinery."""
-    if rows.shape[1] == 1:
-        result = np.unique(
-            rows[:, 0], return_inverse=True, return_counts=return_counts
-        )
-        uniques = result[0][:, None]
-        rest = result[1:]
-    else:
-        result = np.unique(
-            rows, axis=0, return_inverse=True, return_counts=return_counts
-        )
-        uniques = result[0]
-        rest = result[1:]
-    inverse = rest[0].reshape(-1)
-    if return_counts:
-        return uniques, inverse, rest[1]
-    return uniques, inverse
-
-
-class _ArrayGroupState:
-    """Per-group accumulators held as whole arrays, merged with
-    ``np.unique`` + scatter updates — one vectorized merge per
-    partition instead of one Python dict update per key."""
-
-    def __init__(self, specs):
-        self.specs = specs
-        self.keys: np.ndarray | None = None  # (G, K) unique key rows
-        self.counts: np.ndarray | None = None  # (G,) int64 rows per group
-        self.values: list = [None] * len(specs)  # (G,) float64 per spec
-
-    @property
-    def num_groups(self) -> int:
-        return 0 if self.keys is None else len(self.keys)
-
-    @property
-    def nbytes(self) -> int:
-        total = 0
-        for arr in [self.keys, self.counts, *self.values]:
-            if arr is not None:
-                total += arr.nbytes
-        return total
-
-    def update(self, stacked: np.ndarray, part: Partition) -> None:
-        uniques, inverse, counts = _unique_rows(stacked, return_counts=True)
-        counts = counts.astype(np.int64)
-        partials = []
-        for spec in self.specs:
-            if spec.kind == "count":
-                partials.append(None)
-                continue
-            vals = np.asarray(part.columns[spec.column], dtype=np.float64)
-            if spec.kind in ("sum", "mean"):
-                partial = np.bincount(
-                    inverse, weights=vals, minlength=len(uniques)
-                )
-            elif spec.kind == "min":
-                partial = np.full(len(uniques), np.inf)
-                np.minimum.at(partial, inverse, vals)
-            else:
-                partial = np.full(len(uniques), -np.inf)
-                np.maximum.at(partial, inverse, vals)
-            partials.append(partial)
-
-        if self.keys is None:
-            self.keys = uniques
-            self.counts = counts
-            self.values = partials
-            return
-
-        num_old = len(self.keys)
-        combined = np.concatenate([self.keys, uniques], axis=0)
-        merged_keys, remap = _unique_rows(combined)
-        old_map, new_map = remap[:num_old], remap[num_old:]
-        merged_counts = np.zeros(len(merged_keys), dtype=np.int64)
-        merged_counts[old_map] = self.counts
-        merged_counts[new_map] += counts
-        merged_values = []
-        for spec, old, partial in zip(self.specs, self.values, partials):
-            if spec.kind == "count":
-                merged_values.append(None)
-                continue
-            if spec.kind in ("sum", "mean"):
-                merged = np.zeros(len(merged_keys))
-                merged[old_map] = old
-                merged[new_map] += partial
-            elif spec.kind == "min":
-                merged = np.full(len(merged_keys), np.inf)
-                merged[old_map] = old
-                merged[new_map] = np.minimum(merged[new_map], partial)
-            else:
-                merged = np.full(len(merged_keys), -np.inf)
-                merged[old_map] = old
-                merged[new_map] = np.maximum(merged[new_map], partial)
-            merged_values.append(merged)
-        self.keys = merged_keys
-        self.counts = merged_counts
-        self.values = merged_values
-
-    def to_dict_state(self) -> dict:
-        """Convert to the dict-of-accumulators form (used when a later
-        partition turns out to carry object keys)."""
-        state: dict = {}
-        for g in range(self.num_groups):
-            slot = [_State(s.kind) for s in self.specs]
-            for spec_index, spec in enumerate(self.specs):
-                partial = (
-                    None
-                    if spec.kind == "count"
-                    else self.values[spec_index][g]
-                )
-                slot[spec_index].update(partial, int(self.counts[g]))
-            state[tuple(self.keys[g])] = slot
-        return state
-
-    def to_partition(self, keys, key_dtypes) -> Partition:
-        if self.keys is None:
-            return _empty_group_partition(keys, self.specs)
-        columns = {}
-        for i, key_name in enumerate(keys):
-            arr = self.keys[:, i]
-            if key_dtypes is not None and key_dtypes[i].kind in "iu":
-                arr = arr.astype(np.int64)
-            columns[key_name] = arr
-        for spec_index, spec in enumerate(self.specs):
-            if spec.kind == "count":
-                columns[spec.out_name] = self.counts.copy()
-            elif spec.kind == "mean":
-                columns[spec.out_name] = (
-                    self.values[spec_index] / self.counts
-                )
-            else:
-                columns[spec.out_name] = self.values[spec_index]
-        return Partition(columns)
-
-
-def _empty_group_partition(keys, specs) -> Partition:
-    cols = {k: np.empty(0) for k in keys}
-    cols.update({s.out_name: np.empty(0) for s in specs})
-    return Partition(cols)
-
-
+# The vectorized per-group state (ArrayGroupState) lives in
+# repro.engine.aggregates: the streaming DeltaState persists the same
+# class across micro-batches, which is what makes incremental results
+# bit-identical to this batch path by construction.
 def _run_group_by(node: P.GroupByAgg, ctx: _ExecContext):
     meter = ctx.meter
     keys = node.keys
     specs = node.aggs
-    array_state = _ArrayGroupState(specs)
+    array_state = ArrayGroupState(specs)
     dict_state: dict | None = None  # object-key fallback
     key_dtypes = None
     state_nbytes = 0
@@ -549,7 +435,7 @@ def _estimate_state_nbytes(state: dict, num_specs: int) -> int:
 
 def _state_to_partition(state, keys, key_dtypes, specs) -> Partition:
     if not state:
-        return _empty_group_partition(keys, specs)
+        return empty_group_partition(keys, specs)
     key_rows = list(state.keys())
     columns = {}
     for i, key_name in enumerate(keys):
@@ -1681,7 +1567,7 @@ def _assemble_slices(pieces, target_dtypes: dict) -> Partition:
 
 def plan_column_names(node: P.PlanNode) -> list[str]:
     """Statically derive output column names of a plan."""
-    if isinstance(node, P.Source):
+    if isinstance(node, (P.Source, P.StreamingSource)):
         return list(node.schema.names)
     if isinstance(node, P.Project):
         return [name for name, _ in node.exprs]

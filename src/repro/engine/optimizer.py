@@ -109,7 +109,7 @@ def _ordered(names, preference: list | None) -> list:
 # ----------------------------------------------------------------------
 def static_columns(node: P.PlanNode) -> list | None:
     """Output column names, or ``None`` below a schema-opaque node."""
-    if isinstance(node, P.Source):
+    if isinstance(node, (P.Source, P.StreamingSource)):
         return list(node.schema.names)
     if isinstance(node, P.Project):
         return [name for name, _ in node.exprs]
@@ -161,9 +161,11 @@ def _rewrite(node: P.PlanNode) -> P.PlanNode:
 
 
 def _rewrite_pass(node: P.PlanNode):
-    if isinstance(node, (P.Source, P.Cache, P.CompiledStage)):
+    if isinstance(node, (P.Source, P.StreamingSource, P.Cache, P.CompiledStage)):
         # CompiledStage only appears when optimizing an already
         # physically-planned tree; treat it as a barrier like Cache.
+        # StreamingSource is a leaf whose node instance must be
+        # preserved — it accumulates batches across executions.
         return node, False
     changed = False
     new_children = []
@@ -397,7 +399,7 @@ def _prune(node: P.PlanNode, required: list | None) -> P.PlanNode:
     if isinstance(node, P.Cache):
         return node  # barrier: keep instance + subtree for replay
 
-    if isinstance(node, P.Source):
+    if isinstance(node, (P.Source, P.StreamingSource)):
         if required is None:
             return node
         names = list(node.schema.names)

@@ -218,6 +218,22 @@ class Session:
             self, path, schema=schema, rows_per_partition=rows_per_partition
         )
 
+    def stream(self, schema, retain: bool = True):
+        """Open an append-only ingestion stream (see
+        :mod:`repro.engine.streaming`).
+
+        ``schema`` is a :class:`Schema` or a list of ``(name, dtype)``
+        pairs; every appended micro-batch is coerced to it.  With
+        ``retain=True`` (default) batches are kept on the streaming
+        source so ``stream.view()`` exposes the full history as a lazy
+        DataFrame; with ``retain=False`` only registered incremental
+        aggregations are maintained and history is discarded —
+        ingestion memory is then bounded by aggregate state alone.
+        """
+        from repro.engine.streaming import Stream
+
+        return Stream(self, schema, retain=retain)
+
     def range(self, n: int, num_partitions=None) -> DataFrame:
         """A DataFrame with a single int column ``id`` of 0..n-1."""
         return self.create_dataframe(

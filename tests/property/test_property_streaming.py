@@ -1,0 +1,234 @@
+"""Property tests: incremental streaming maintenance is *bit-identical*
+to batch recomputation.
+
+Three pinned equivalences, each across random batch splits (including
+empty and duplicated batches), duplicate keys/values, and out-of-order
+event times:
+
+- **Aggregates** — a delta-maintained ``stream.aggregate`` equals
+  ``view().group_by(...).agg(...)`` recomputed from the full retained
+  history, for every aggregate kind including the Chan-merged
+  var/std and set-merged count_distinct.
+- **Windows** — a watermarked event-time window aggregation equals an
+  independent per-batch replay reference (window assignment + late
+  filtering reimplemented in the test, merged by the engine's batch
+  group-by over the accepted rows).
+- **Grid tensors** — ``STManager.update_st_grid_array`` applied per
+  batch delta equals ``get_st_grid_array`` rebuilt from scratch.
+
+Comparisons use dtype checks plus ``np.testing.assert_array_equal``
+(NaN-exact), never ``isclose``: the incremental paths must produce the
+same bits, because both run the same ``ArrayGroupState`` merges in the
+same order by construction.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.preprocessing.grid import STManager as stm
+from repro.engine import Partition, Schema, Session, WindowSpec, agg
+from repro.engine.streaming import WINDOW_COLUMN
+
+# Event times from a coarse lattice so duplicates and exact window
+# boundaries are common; values rounded so distinct-counts collide.
+times = st.integers(min_value=0, max_value=120).map(lambda i: i * 0.5)
+cells = st.integers(min_value=0, max_value=11)
+values = st.integers(min_value=-40, max_value=40).map(lambda i: i * 0.25)
+
+SCHEMA = [("t", np.float64), ("cell", np.int64), ("v", np.float64)]
+
+ALL_SPECS = [
+    agg.count(name="n"),
+    agg.sum_("v"),
+    agg.min_("v"),
+    agg.max_("v"),
+    agg.mean("v"),
+    agg.var_("v"),
+    agg.std_("v"),
+    agg.count_distinct("v"),
+]
+
+
+@st.composite
+def batched_records(draw):
+    """A random record set cut into micro-batches: sizes may be zero
+    (empty appends) and one batch may be appended twice (duplicate
+    delivery)."""
+    num_batches = draw(st.integers(min_value=1, max_value=6))
+    batches = []
+    for _ in range(num_batches):
+        n = draw(st.integers(min_value=0, max_value=25))
+        batches.append(
+            {
+                "t": np.asarray(
+                    draw(st.lists(times, min_size=n, max_size=n)),
+                    dtype=np.float64,
+                ),
+                "cell": np.asarray(
+                    draw(st.lists(cells, min_size=n, max_size=n)),
+                    dtype=np.int64,
+                ),
+                "v": np.asarray(
+                    draw(st.lists(values, min_size=n, max_size=n)),
+                    dtype=np.float64,
+                ),
+            }
+        )
+    if draw(st.booleans()) and batches:
+        duplicate = draw(
+            st.integers(min_value=0, max_value=len(batches) - 1)
+        )
+        batches.append({k: v.copy() for k, v in batches[duplicate].items()})
+    return batches
+
+
+def assert_identical(left: dict, right: dict):
+    assert list(left) == list(right)
+    for name in left:
+        assert left[name].dtype == right[name].dtype, name
+        np.testing.assert_array_equal(left[name], right[name], err_msg=name)
+
+
+@settings(max_examples=40, deadline=None)
+@given(batched_records())
+def test_incremental_aggregates_equal_recompute(batches):
+    stream = Session().stream(SCHEMA)
+    live = stream.aggregate(["cell"], ALL_SPECS)
+    for batch in batches:
+        stream.append(batch)
+    assert_identical(
+        dict(live.to_partition().columns),
+        live.recompute_dataframe().to_columns(),
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(batched_records())
+def test_incremental_multikey_aggregates_equal_recompute(batches):
+    stream = Session().stream(SCHEMA)
+    live = stream.aggregate(["cell", "t"], [agg.count(name="n"), agg.var_("v")])
+    for batch in batches:
+        stream.append(batch)
+    assert_identical(
+        dict(live.to_partition().columns),
+        live.recompute_dataframe().to_columns(),
+    )
+
+
+def _reference_window_replay(session, batches, spec, delay, specs, keys):
+    """Independent replay: assign windows and filter late rows with a
+    straightforward per-batch reimplementation, then let the *batch*
+    group-by merge the accepted rows in arrival order."""
+    accepted = []
+    watermark = -np.inf
+    num_candidates = int(np.ceil(spec.size / spec.slide))
+    for batch in batches:
+        t = np.asarray(batch["t"], dtype=np.float64)
+        rows_idx, rows_start = [], []
+        for i, ti in enumerate(t):
+            last = (
+                np.floor((ti - spec.origin) / spec.slide) * spec.slide
+                + spec.origin
+            )
+            for j in range(num_candidates):
+                start = last - j * spec.slide
+                if not (ti < start + spec.size):
+                    continue
+                if start + spec.size > watermark:  # not late
+                    rows_idx.append(i)
+                    rows_start.append(start)
+        columns = {
+            WINDOW_COLUMN: np.asarray(rows_start, dtype=np.float64),
+            "cell": np.asarray(batch["cell"])[rows_idx].astype(np.int64),
+            "v": np.asarray(batch["v"])[rows_idx].astype(np.float64),
+        }
+        accepted.append(Partition(columns))
+        if len(t):
+            watermark = max(watermark, float(t.max()) - delay)
+    schema = Schema(
+        [
+            (WINDOW_COLUMN, np.float64),
+            ("cell", np.int64),
+            ("v", np.float64),
+        ]
+    )
+    df = session.from_partitions(
+        [lambda p=p: p for p in accepted], schema
+    )
+    return df.group_by(*keys).agg(*specs).to_columns()
+
+
+def _sort_by_keys(columns: dict, keys: list) -> dict:
+    order = np.lexsort(
+        [np.asarray(columns[k]) for k in reversed(keys)]
+    )
+    return {name: np.asarray(arr)[order] for name, arr in columns.items()}
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    batched_records(),
+    st.sampled_from([(10.0, 10.0), (10.0, 5.0), (8.0, 4.0)]),
+    st.sampled_from([0.0, 5.0, 30.0]),
+)
+def test_windowed_incremental_equals_replay_reference(batches, window, delay):
+    size, slide = window
+    session = Session()
+    spec = WindowSpec("t", size=size, slide=slide)
+    specs = [agg.count(name="n"), agg.sum_("v"), agg.var_("v")]
+    keys = [WINDOW_COLUMN, "cell"]
+    stream = session.stream(SCHEMA)
+    live = stream.aggregate(
+        ["cell"], specs, window=spec, watermark_delay=delay
+    )
+    for batch in batches:
+        stream.append(batch)
+    incremental = _sort_by_keys(
+        dict(live.snapshot_partition().columns), keys
+    )
+    reference = _sort_by_keys(
+        _reference_window_replay(session, batches, spec, delay, specs, keys),
+        keys,
+    )
+    # Key dtypes: the replay's cell key survives as int64 only when the
+    # engine sees int key dtypes — both paths do, so exact compare.
+    assert_identical(incremental, reference)
+
+
+@settings(max_examples=25, deadline=None)
+@given(batched_records())
+def test_incremental_grid_tensor_equals_rebuild(batches):
+    px, py = 4, 3
+    session = Session()
+    stream = session.stream(
+        [("time_step", np.int64), ("cell_id", np.int64), ("v", np.float64)]
+    )
+    live = stream.aggregate(
+        ["time_step", "cell_id"],
+        [agg.count(name="count"), agg.sum_("v"), agg.mean("v")],
+    )
+    channels = ["count", "sum_v", "mean_v"]
+    tensor = np.zeros((1, py, px, len(channels)), dtype=np.float32)
+    for batch in batches:
+        stream.append(
+            {
+                "time_step": (batch["t"] // 8.0).astype(np.int64),
+                "cell_id": batch["cell"] % (px * py),
+                "v": batch["v"],
+            }
+        )
+        tensor = stm.update_st_grid_array(
+            tensor, live.delta(), px, py, value_columns=channels
+        )
+    rebuilt = stm.get_st_grid_array(
+        live.recompute_dataframe(),
+        px,
+        py,
+        num_steps=tensor.shape[0],
+        value_columns=channels,
+    )
+    assert tensor.shape == rebuilt.shape
+    assert tensor.dtype == rebuilt.dtype
+    np.testing.assert_array_equal(tensor, rebuilt)
+    stm.release_st_grid_array(rebuilt)

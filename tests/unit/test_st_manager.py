@@ -174,3 +174,84 @@ class TestGridArray:
         path = STManager.write_st_grid_array(tensor, str(tmp_path / "t"))
         loaded = STManager.read_st_grid_array(path)
         np.testing.assert_allclose(loaded, tensor)
+
+
+class TestGridUpdate:
+    def _tensor(self, steps=2, py=2, px=2, channels=1):
+        return np.zeros((steps, py, px, channels), dtype=np.float32)
+
+    def _delta(self, steps, cells, counts):
+        from repro.engine import Partition
+
+        return Partition(
+            {
+                "time_step": np.asarray(steps, dtype=np.int64),
+                "cell_id": np.asarray(cells, dtype=np.int64),
+                "count": np.asarray(counts, dtype=np.float64),
+            }
+        )
+
+    def test_scatter_touches_only_delta_entries(self):
+        tensor = self._tensor()
+        tensor[:] = 7.0
+        out = STManager.update_st_grid_array(
+            tensor, self._delta([0, 1], [0, 3], [2.0, 5.0]), 2, 2
+        )
+        assert out is tensor  # no growth: updated in place
+        assert out[0, 0, 0, 0] == 2.0
+        assert out[1, 1, 1, 0] == 5.0
+        assert (out == 7.0).sum() == out.size - 2
+
+    def test_growth_preserves_existing_and_returns_new(self):
+        tensor = self._tensor(steps=1)
+        tensor[0, 0, 0, 0] = 3.0
+        out = STManager.update_st_grid_array(
+            tensor, self._delta([4], [1], [9.0]), 2, 2
+        )
+        assert out is not tensor
+        assert out.shape == (5, 2, 2, 1)
+        assert out[0, 0, 0, 0] == 3.0  # old contents copied over
+        assert out[4, 0, 1, 0] == 9.0
+        assert out[1:4].sum() == 0.0  # grown region zeroed
+        STManager.release_st_grid_array(out)
+
+    def test_fixed_num_steps_drops_out_of_range(self):
+        tensor = self._tensor(steps=2)
+        out = STManager.update_st_grid_array(
+            tensor,
+            self._delta([0, 99, -1], [0, 0, 0], [1.0, 8.0, 8.0]),
+            2,
+            2,
+            num_steps=2,
+        )
+        assert out is tensor
+        assert out[0, 0, 0, 0] == 1.0
+        assert out.sum() == 1.0  # step 99 and -1 dropped, like the rebuild
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="does not match"):
+            STManager.update_st_grid_array(
+                self._tensor(py=3), self._delta([0], [0], [1.0]), 2, 2
+            )
+
+    def test_empty_delta_is_a_no_op(self):
+        tensor = self._tensor()
+        out = STManager.update_st_grid_array(
+            tensor, self._delta([], [], []), 2, 2
+        )
+        assert out is tensor
+        assert out.sum() == 0.0
+
+    def test_grid_metrics_advance(self, session):
+        from repro import obs
+
+        updates = obs.registry.counter("st.grid.updates")
+        touched = obs.registry.counter("st.grid.cells_touched")
+        before_updates, before_touched = updates.value, touched.value
+        tensor = self._tensor()
+        STManager.update_st_grid_array(
+            tensor, self._delta([0, 0], [0, 1], [1.0, 1.0]), 2, 2
+        )
+        assert updates.value == before_updates + 1
+        assert touched.value == before_touched + 2
+        assert obs.registry.gauge("st.grid.alloc_bytes").value >= 0
